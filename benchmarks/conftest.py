@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at BENCH_SCALE (see DESIGN.md §5): the same code paths as
+the paper-scale experiments, sized so the whole suite finishes in minutes.
+Trees are built once per session and shared; pytest-benchmark then times
+the query/update work itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.workload import make_workload
+from repro.experiments.config import BENCH_SCALE
+from repro.experiments.data import build_upcr, build_utree, dataset_objects, dataset_points
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def lb_points(scale):
+    return dataset_points("LB", scale)
+
+
+@pytest.fixture(scope="session")
+def lb_objects(scale):
+    return dataset_objects("LB", scale)
+
+
+@pytest.fixture(scope="session")
+def aircraft_points(scale):
+    return dataset_points("Aircraft", scale)
+
+
+@pytest.fixture(scope="session")
+def lb_utree(scale):
+    return build_utree("LB", scale)
+
+
+@pytest.fixture(scope="session")
+def lb_upcr(scale):
+    return build_upcr("LB", scale)
+
+
+@pytest.fixture(scope="session")
+def aircraft_utree(scale):
+    return build_utree("Aircraft", scale)
+
+
+@pytest.fixture(scope="session")
+def aircraft_upcr(scale):
+    return build_upcr("Aircraft", scale)
+
+
+def workload_for(points, scale, qs: float, pq: float, seed: int = 77):
+    """A bench workload over the given dataset points."""
+    return make_workload(points, scale.queries_per_workload, qs, pq, seed=seed)

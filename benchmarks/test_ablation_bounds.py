@@ -1,0 +1,36 @@
+"""Ablation: linear (chord) versus exact intermediate bounds in the U-tree.
+
+The paper stores only MBR⊥/MBR per intermediate entry and derives e.MBR(p)
+linearly (Eq. 15) — conservative but looser than the exact per-catalog
+union.  This bench quantifies the pruning cost of that choice at equal
+entry size: the exact variant should never access more nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.experiments.data import build_utree
+from repro.experiments.harness import run_workload
+
+
+@pytest.mark.parametrize("bounds", ["linear", "exact"])
+def test_ablation_intermediate_bounds(benchmark, scale, lb_points, bounds):
+    tree = build_utree("LB", scale, intermediate_bounds=bounds)
+    workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["bounds"] = bounds
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses
+
+
+def test_ablation_exact_bounds_not_worse(scale, lb_points):
+    """Exact unions are tighter: they can only reduce node accesses."""
+    workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6, seed=611)
+    linear = build_utree("LB", scale, intermediate_bounds="linear")
+    exact = build_utree("LB", scale, intermediate_bounds="exact")
+    io_linear = run_workload(linear, workload).avg_node_accesses
+    io_exact = run_workload(exact, workload).avg_node_accesses
+    # Tree shapes may differ slightly (summaries feed the insertion
+    # heuristics), so allow a small tolerance on the comparison.
+    assert io_exact <= io_linear * 1.15

@@ -1,0 +1,36 @@
+"""Ablation: U-tree catalog size.
+
+Section 6.2 argues the U-tree tolerates large catalogs because its entry
+size is independent of m (only insertion CPU grows), unlike U-PCR.  This
+bench verifies: index bytes are flat across m while the filter gets no
+worse, supporting the paper's choice of m = 15.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.core.catalog import UCatalog
+from repro.experiments.data import build_utree
+from repro.experiments.harness import run_workload
+
+
+@pytest.mark.parametrize("m", [5, 10, 15])
+def test_ablation_utree_catalog_size(benchmark, scale, lb_points, m):
+    tree = build_utree("LB", scale, catalog=UCatalog.evenly_spaced(m))
+    workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["index_bytes"] = tree.size_bytes
+    benchmark.extra_info["avg_prob_computations"] = stats.avg_prob_computations
+
+
+def test_ablation_utree_size_independent_of_catalog(scale):
+    """U-tree bytes do not grow with m (CFBs are fixed-size)."""
+    small = build_utree("LB", scale, catalog=UCatalog.evenly_spaced(5))
+    large = build_utree("LB", scale, catalog=UCatalog.evenly_spaced(15))
+    # Tree shapes can differ slightly; sizes must stay within one split.
+    assert abs(small.engine.node_count - large.engine.node_count) <= max(
+        3, small.engine.node_count // 10
+    )

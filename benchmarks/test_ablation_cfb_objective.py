@@ -1,0 +1,54 @@
+"""Ablation: margin versus area-proxy objective for outer-CFB fitting.
+
+Footnote 4 of the paper picks the summed-margin objective over summed
+area, arguing a low-margin rectangle also has small area but not vice
+versa.  The exact area objective is non-linear; ``area_proxy_weights``
+linearises it by weighting each axis with the other axes' PCR extents.
+This bench compares fit cost and the tightness of the resulting boxes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.cfb import area_proxy_weights, fit_outer_cfb
+from repro.core.pcr import compute_pcrs
+from repro.experiments.data import dataset_objects
+
+
+@pytest.fixture(scope="module")
+def pcr_sets(scale):
+    catalog = UCatalog.paper_utree_default()
+    objects = dataset_objects("LB", scale)[:100]
+    return [compute_pcrs(obj, catalog) for obj in objects]
+
+
+@pytest.mark.parametrize("objective", ["margin", "area"])
+def test_ablation_cfb_objective_fit(benchmark, pcr_sets, objective):
+    def fit_all():
+        total_area = 0.0
+        for pcrs in pcr_sets:
+            weights = None if objective == "margin" else area_proxy_weights(pcrs)
+            outer = fit_outer_cfb(pcrs, weights=weights)
+            total_area += sum(outer.box(p).area() for p in pcrs.catalog)
+        return total_area
+
+    total_area = benchmark(fit_all)
+    benchmark.extra_info["objective"] = objective
+    benchmark.extra_info["summed_box_area"] = total_area
+    assert total_area > 0
+
+
+def test_ablation_objectives_both_contain_pcrs(pcr_sets):
+    """Whatever the objective, containment (the correctness contract) holds."""
+    for pcrs in pcr_sets[:20]:
+        for outer in (
+            fit_outer_cfb(pcrs),
+            fit_outer_cfb(pcrs, weights=area_proxy_weights(pcrs)),
+        ):
+            for j, p in enumerate(pcrs.catalog):
+                box = outer.box(p)
+                target = pcrs.box(j)
+                assert (box.lo <= target.lo + 1e-6).all()
+                assert (target.hi <= box.hi + 1e-6).all()

@@ -1,0 +1,40 @@
+"""Ablation: median-catalog-value split versus all-layer split.
+
+Section 5.3 sorts split candidates only at the median catalog value to
+avoid one sort per value.  This bench measures what the expensive variant
+buys: build time goes up, query I/O changes little — supporting the
+paper's heuristic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.core.utree import UTree
+from repro.experiments.data import build_utree, dataset_objects
+from repro.experiments.harness import run_workload
+
+
+@pytest.mark.parametrize("split_mode", ["median-layer", "all-layers"])
+def test_ablation_split_build(benchmark, scale, split_mode):
+    objects = dataset_objects("LB", scale)[:200]
+
+    def build():
+        tree = UTree(2, split_mode=split_mode)
+        for obj in objects:
+            tree.insert(obj)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["split_mode"] = split_mode
+    benchmark.extra_info["height"] = tree.height
+    assert len(tree) == len(objects)
+
+
+@pytest.mark.parametrize("split_mode", ["median-layer", "all-layers"])
+def test_ablation_split_query(benchmark, scale, lb_points, split_mode):
+    tree = build_utree("LB", scale, split_mode=split_mode)
+    workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses

@@ -1,0 +1,78 @@
+"""Benches for the future-work extensions (paper Section 7).
+
+* probabilistic nearest-neighbour queries on the U-tree;
+* the analytical cost model (prediction accuracy + evaluation speed);
+* STR bulk loading versus the paper's insert-based construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.core.costmodel import UTreeCostModel
+from repro.core.nn import probabilistic_nearest_neighbors
+from repro.core.utree import UTree
+from repro.experiments.data import dataset_objects
+from repro.experiments.harness import run_workload
+
+
+class TestNNBench:
+    def test_probabilistic_nn_query(self, benchmark, scale, lb_utree):
+        point = np.array([5000.0, 5000.0])
+        result = benchmark(
+            probabilistic_nearest_neighbors, lb_utree, point, 1000, 3
+        )
+        assert result.candidates
+        benchmark.extra_info["candidates"] = len(result.candidates)
+        benchmark.extra_info["node_accesses"] = result.node_accesses
+
+    def test_nn_filter_prunes_most_nodes(self, scale, lb_utree):
+        rng = np.random.default_rng(1)
+        total_nodes = lb_utree.engine.node_count
+        for __ in range(5):
+            point = rng.uniform(2000, 8000, 2)
+            result = probabilistic_nearest_neighbors(lb_utree, point, rounds=200, seed=4)
+            assert result.node_accesses < total_nodes
+
+
+class TestCostModelBench:
+    def test_model_build_and_eval(self, benchmark, scale, lb_utree, lb_points):
+        model = UTreeCostModel(lb_utree)
+        workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6)
+        estimate = benchmark(model.estimate_workload, workload)
+        measured = run_workload(lb_utree, workload).avg_node_accesses
+        benchmark.extra_info["predicted_node_accesses"] = estimate.node_accesses
+        benchmark.extra_info["measured_node_accesses"] = measured
+        # The optimizer-grade contract: right order of magnitude.
+        assert estimate.node_accesses == pytest.approx(measured, rel=1.5)
+
+
+class TestBulkLoadBench:
+    def test_bulk_vs_insert_build(self, benchmark, scale):
+        objects = dataset_objects("LB", scale)
+
+        def build_packed():
+            return UTree.bulk_load(objects)
+
+        packed = benchmark.pedantic(build_packed, rounds=1, iterations=1)
+        inserted = UTree(2)
+        for obj in objects:
+            inserted.insert(obj)
+        benchmark.extra_info["packed_nodes"] = packed.engine.node_count
+        benchmark.extra_info["inserted_nodes"] = inserted.engine.node_count
+        assert packed.engine.node_count <= inserted.engine.node_count
+
+    def test_bulk_query_io_not_worse(self, scale, lb_points):
+        objects = dataset_objects("LB", scale)
+        packed = UTree.bulk_load(objects)
+        inserted = UTree(2)
+        for obj in objects:
+            inserted.insert(obj)
+        workload = workload_for(lb_points, scale, qs=1000.0, pq=0.6, seed=811)
+        packed_io = run_workload(packed, workload).avg_node_accesses
+        inserted_io = run_workload(inserted, workload).avg_node_accesses
+        # Packing trades slightly worse clustering for far fewer pages;
+        # allow modest slack but catch regressions.
+        assert packed_io <= inserted_io * 1.5

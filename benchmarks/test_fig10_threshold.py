@@ -1,0 +1,33 @@
+"""Bench for Figure 10: query cost versus probability threshold (qs = 1500).
+
+One benchmark per (structure, pq) cell on LB, plus the shape assertion
+that the U-tree keeps its node-access advantage across all thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.experiments.harness import run_workload
+
+_PQ_VALUES = [0.3, 0.6, 0.9]
+
+
+@pytest.mark.parametrize("pq", _PQ_VALUES)
+@pytest.mark.parametrize("structure", ["utree", "upcr"])
+def test_fig10_lb(benchmark, scale, lb_points, lb_utree, lb_upcr, structure, pq):
+    tree = lb_utree if structure == "utree" else lb_upcr
+    workload = workload_for(lb_points, scale, qs=1500.0, pq=pq)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses
+    benchmark.extra_info["avg_prob_computations"] = stats.avg_prob_computations
+    benchmark.extra_info["validated_pct"] = stats.validated_percentage
+
+
+def test_fig10_shape_io_advantage_all_thresholds(scale, lb_points, lb_utree, lb_upcr):
+    for pq in _PQ_VALUES:
+        workload = workload_for(lb_points, scale, qs=1500.0, pq=pq, seed=500)
+        utree_io = run_workload(lb_utree, workload).avg_node_accesses
+        upcr_io = run_workload(lb_upcr, workload).avg_node_accesses
+        assert utree_io < upcr_io, f"U-tree should win I/O at pq={pq}"

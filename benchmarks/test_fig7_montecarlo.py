@@ -1,0 +1,44 @@
+"""Bench for Figure 7: Monte-Carlo appearance-probability evaluation.
+
+Times one P_app evaluation at several sample counts and records the
+workload-error series in extra_info, mirroring the paper's columns
+(error percentage atop each bar, msec per evaluation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("n1", [1_000, 10_000, 100_000])
+def test_fig7_estimate_cost(benchmark, dim, n1):
+    """Per-evaluation cost grows linearly with n1 (Fig. 7 bar labels)."""
+    centre = np.full(dim, 5000.0)
+    density = UniformDensity(BallRegion(centre, 250.0), marginal_seed=dim)
+    # A query the region straddles, so the estimate is non-trivial.
+    query = Rect.from_center(centre + 150.0, 250.0)
+    estimator = AppearanceEstimator(n_samples=n1, seed=5)
+
+    value = benchmark(estimator.estimate, density, query, 0)
+    assert 0.0 < value < 1.0
+
+
+def test_fig7_error_series(benchmark, scale):
+    """Workload error falls as n1 grows, and 3-D needs more samples than 2-D."""
+    result = benchmark.pedantic(fig7.run, args=(scale, 8), rounds=1, iterations=1)
+    errors_2d = result["dims"][2]["workload_error"]
+    errors_3d = result["dims"][3]["workload_error"]
+    benchmark.extra_info["n1"] = result["n1"]
+    benchmark.extra_info["error_2d"] = errors_2d
+    benchmark.extra_info["error_3d"] = errors_3d
+    # Shape assertions: monotone-ish decay over the sweep's endpoints.
+    assert errors_2d[-1] < errors_2d[0]
+    assert errors_3d[-1] < errors_3d[0]

@@ -1,0 +1,39 @@
+"""Bench for Figure 8: U-PCR query cost versus catalog size m.
+
+Times a qs = 500 workload against U-PCR trees built with different catalog
+sizes.  The paper's U-shape comes from CPU falling and I/O rising with m;
+we assert the I/O side of that trade (larger catalogs => larger entries =>
+more node accesses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.core.catalog import UCatalog
+from repro.experiments.data import build_upcr
+from repro.experiments.harness import run_workload
+
+
+@pytest.mark.parametrize("m", [3, 9, 12])
+def test_fig8_upcr_catalog_size(benchmark, scale, lb_points, m):
+    tree = build_upcr("LB", scale, catalog=UCatalog.evenly_spaced(m))
+    workload = workload_for(lb_points, scale, qs=500.0, pq=0.6)
+
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses
+    benchmark.extra_info["avg_prob_computations"] = stats.avg_prob_computations
+    benchmark.extra_info["index_bytes"] = tree.size_bytes
+
+
+def test_fig8_io_grows_with_catalog(scale, lb_points):
+    """The I/O half of the U-shape: node accesses rise with m."""
+    workload = workload_for(lb_points, scale, qs=500.0, pq=0.6)
+    small = build_upcr("LB", scale, catalog=UCatalog.evenly_spaced(3))
+    large = build_upcr("LB", scale, catalog=UCatalog.evenly_spaced(12))
+    io_small = run_workload(small, workload).avg_node_accesses
+    io_large = run_workload(large, workload).avg_node_accesses
+    assert large.size_bytes > small.size_bytes
+    assert io_large >= io_small

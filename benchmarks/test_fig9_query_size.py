@@ -1,0 +1,48 @@
+"""Bench for Figure 9: query cost versus search-region size (pq = 0.6).
+
+One benchmark per (structure, qs) cell on the LB and Aircraft panels, plus
+shape assertions for the paper's headline comparisons: the U-tree accesses
+fewer nodes than U-PCR at every qs, and both grow with qs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.experiments.harness import run_workload
+
+_QS_VALUES = [500.0, 1500.0, 2500.0]
+
+
+@pytest.mark.parametrize("qs", _QS_VALUES)
+@pytest.mark.parametrize("structure", ["utree", "upcr"])
+def test_fig9_lb(benchmark, scale, lb_points, lb_utree, lb_upcr, structure, qs):
+    tree = lb_utree if structure == "utree" else lb_upcr
+    workload = workload_for(lb_points, scale, qs=qs, pq=0.6)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses
+    benchmark.extra_info["avg_prob_computations"] = stats.avg_prob_computations
+    benchmark.extra_info["validated_pct"] = stats.validated_percentage
+
+
+@pytest.mark.parametrize("structure", ["utree", "upcr"])
+def test_fig9_aircraft(benchmark, scale, aircraft_points, aircraft_utree, aircraft_upcr, structure):
+    tree = aircraft_utree if structure == "utree" else aircraft_upcr
+    workload = workload_for(aircraft_points, scale, qs=1500.0, pq=0.6)
+    stats = benchmark(run_workload, tree, workload)
+    benchmark.extra_info["avg_node_accesses"] = stats.avg_node_accesses
+
+
+def test_fig9_shape_utree_beats_upcr_io(scale, lb_points, lb_utree, lb_upcr):
+    """The paper's headline: U-tree I/O < U-PCR I/O at every qs, both rising."""
+    utree_io = []
+    upcr_io = []
+    for i, qs in enumerate(_QS_VALUES):
+        workload = workload_for(lb_points, scale, qs=qs, pq=0.6, seed=400 + i)
+        utree_io.append(run_workload(lb_utree, workload).avg_node_accesses)
+        upcr_io.append(run_workload(lb_upcr, workload).avg_node_accesses)
+    for u, p in zip(utree_io, upcr_io):
+        assert u < p
+    assert utree_io[-1] > utree_io[0]
+    assert upcr_io[-1] > upcr_io[0]

@@ -1,0 +1,119 @@
+"""Arbitrary pdfs and structure comparison: the paper's headline claim.
+
+The U-tree makes no assumption about object pdfs.  This example indexes a
+mixed population — uniform circles, constrained Gaussians, Zipf-skewed
+histograms and mixtures — in ONE tree, then answers the same workload with
+all three access methods (U-tree, U-PCR, sequential scan) and prints the
+paper's cost comparison: identical answers, very different costs.
+
+Run:  python examples/arbitrary_pdfs.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AppearanceEstimator,
+    BallRegion,
+    BoxRegion,
+    ConstrainedGaussianDensity,
+    MixtureDensity,
+    ProbRangeQuery,
+    Rect,
+    SequentialScan,
+    UncertainObject,
+    UniformDensity,
+    UPCRTree,
+    UTree,
+    zipf_histogram,
+)
+
+N_OBJECTS = 400
+RADIUS = 250.0
+
+
+def make_object(oid: int, centre: np.ndarray) -> UncertainObject:
+    """Cycle through four pdf families on matching uncertainty regions."""
+    kind = oid % 4
+    if kind == 0:
+        region = BallRegion(centre, RADIUS)
+        pdf = UniformDensity(region, marginal_seed=oid)
+    elif kind == 1:
+        region = BallRegion(centre, RADIUS)
+        pdf = ConstrainedGaussianDensity(region, sigma=RADIUS / 2, marginal_seed=oid)
+    elif kind == 2:
+        region = BoxRegion(Rect(centre - RADIUS, centre + RADIUS))
+        pdf = zipf_histogram(region, cells_per_axis=8, skew=1.2, seed=oid, marginal_seed=oid)
+    else:
+        region = BallRegion(centre, RADIUS)
+        pdf = MixtureDensity(
+            [
+                UniformDensity(region, marginal_seed=oid),
+                ConstrainedGaussianDensity(region, sigma=RADIUS / 3, marginal_seed=oid),
+            ],
+            weights=[0.35, 0.65],
+            marginal_seed=oid,
+        )
+    return UncertainObject(oid, pdf)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    objects = [make_object(i, rng.uniform(500, 9_500, 2)) for i in range(N_OBJECTS)]
+
+    def estimator():
+        # Same seed for every structure: identical refinement estimates.
+        return AppearanceEstimator(n_samples=10_000, seed=9)
+
+    structures = {
+        "U-tree": UTree(2, estimator=estimator()),
+        "U-PCR": UPCRTree(2, estimator=estimator()),
+        "seq-scan": SequentialScan(2, estimator=estimator()),
+    }
+    for structure in structures.values():
+        for obj in objects:
+            structure.insert(obj)
+
+    print(f"{N_OBJECTS} objects across 4 pdf families indexed in all structures.")
+    print(f"index sizes: U-tree {structures['U-tree'].size_bytes // 1024} KiB, "
+          f"U-PCR {structures['U-PCR'].size_bytes // 1024} KiB\n")
+
+    workload = []
+    for i in range(10):
+        centre = objects[int(rng.integers(0, N_OBJECTS))].mbr.center
+        workload.append(
+            ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(400, 1_400))),
+                round(float(rng.uniform(0.2, 0.9)), 2),
+            )
+        )
+
+    header = f"{'structure':9s} {'results':>7s} {'IO':>6s} {'P_app':>6s} {'validated':>9s}"
+    print(header)
+    print("-" * len(header))
+    reference = None
+    for name, structure in structures.items():
+        totals = {"results": 0, "io": 0, "papp": 0, "validated": 0}
+        answers = []
+        for query in workload:
+            answer = structure.query(query)
+            answers.append(answer.sorted_ids())
+            totals["results"] += len(answer.object_ids)
+            totals["io"] += answer.stats.node_accesses + answer.stats.data_page_reads
+            totals["papp"] += answer.stats.prob_computations
+            totals["validated"] += answer.stats.validated_directly
+        if reference is None:
+            reference = answers
+        assert answers == reference, "structures disagree!"
+        print(
+            f"{name:9s} {totals['results']:7d} {totals['io']:6d} "
+            f"{totals['papp']:6d} {totals['validated']:9d}"
+        )
+
+    print("\nAll three structures returned identical answers; the U-tree did it")
+    print("with the least I/O, and both indexes avoided almost all integration.")
+
+
+if __name__ == "__main__":
+    main()

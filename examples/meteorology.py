@@ -1,0 +1,92 @@
+"""Meteorology monitoring: the paper's 3-D sensor scenario (Section 1).
+
+A network of stations reports (temperature, humidity, UV index) readings
+every half hour; between reports the true atmospheric state drifts, so the
+database models each station as an uncertain 3-D point: a box uncertainty
+region around the last reading with a Gaussian pdf (readings are most
+likely near the reported value, as the paper suggests for temperature).
+
+The paper's example query: "identify the regions whose temperatures are
+in [75F, 80F], humidity in [40%, 60%] and UV index in [4.5, 6] with at
+least 70% likelihood" — a 3-D prob-range query.
+
+Run:  python examples/meteorology.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AppearanceEstimator,
+    BoxRegion,
+    ConstrainedGaussianDensity,
+    ProbRangeQuery,
+    Rect,
+    UncertainObject,
+    UTree,
+)
+
+N_STATIONS = 250
+
+# Physical ranges per axis: temperature (F), humidity (%), UV index.
+AXIS_LOW = np.array([30.0, 10.0, 0.0])
+AXIS_HIGH = np.array([110.0, 95.0, 11.0])
+# Drift half-widths between reports, and pdf spread.
+DRIFT = np.array([4.0, 8.0, 1.2])
+SIGMA_FRACTION = 0.45  # sigma as a fraction of the smallest half-width
+
+
+def station_object(oid: int, reading: np.ndarray) -> UncertainObject:
+    lo = np.maximum(reading - DRIFT, AXIS_LOW)
+    hi = np.minimum(reading + DRIFT, AXIS_HIGH)
+    region = BoxRegion(Rect(lo, hi))
+    sigma = float(DRIFT.min()) * SIGMA_FRACTION
+    pdf = ConstrainedGaussianDensity(region, sigma=sigma, mean=reading, marginal_seed=oid)
+    return UncertainObject(oid, pdf)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+
+    # Last-reported readings, loosely correlated (hot -> high UV, low humidity).
+    temperature = rng.uniform(55, 95, N_STATIONS)
+    humidity = np.clip(110 - temperature + rng.normal(0, 12, N_STATIONS), 10, 95)
+    uv = np.clip((temperature - 40) / 8 + rng.normal(0, 1.2, N_STATIONS), 0, 11)
+    readings = np.stack([temperature, humidity, uv], axis=1)
+
+    tree = UTree(dim=3, estimator=AppearanceEstimator(n_samples=12_000, seed=5))
+    for oid, reading in enumerate(readings):
+        tree.insert(station_object(oid, reading))
+    print(f"Indexed {len(tree)} stations (3-D box regions, Gaussian pdfs).\n")
+
+    # The paper's example query.
+    comfortable = Rect([75.0, 40.0, 4.5], [80.0, 60.0, 6.0])
+    for confidence in (0.3, 0.5, 0.7):
+        answer = tree.query(ProbRangeQuery(comfortable, confidence))
+        s = answer.stats
+        print(
+            f"T in [75, 80], H in [40, 60], UV in [4.5, 6] @ >= {confidence:.0%}: "
+            f"{len(answer.object_ids):3d} stations | I/O {s.node_accesses:3d}, "
+            f"P_app computed {s.prob_computations:3d}"
+        )
+
+    # Wider query: heat-stress watch (high temperature OR high UV corner).
+    hot = Rect([88.0, 10.0, 0.0], [110.0, 95.0, 11.0])
+    answer = tree.query(ProbRangeQuery(hot, 0.6))
+    print(
+        f"\nHeat watch (T >= 88F @ >= 60%): {len(answer.object_ids)} stations, "
+        f"{answer.stats.validated_directly} validated without integration."
+    )
+
+    # A new half-hourly report cycle updates a third of the stations.
+    refresh = rng.choice(N_STATIONS, size=N_STATIONS // 3, replace=False)
+    for oid in refresh:
+        tree.delete(int(oid))
+        readings[oid, 0] += rng.normal(0, 2.0)
+        tree.insert(station_object(int(oid), readings[oid]))
+    print(f"Refreshed {len(refresh)} stations; index still holds {len(tree)}.")
+
+
+if __name__ == "__main__":
+    main()

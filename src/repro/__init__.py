@@ -1,0 +1,112 @@
+"""repro — a full reproduction of the U-tree (Tao et al., VLDB 2005).
+
+Indexing multi-dimensional uncertain data with arbitrary probability
+density functions: probabilistically constrained regions (PCRs),
+conservative functional boxes (CFBs) fitted by linear programming, the
+dynamic U-tree index, the U-PCR comparison structure, a sequential-scan
+baseline, and the full experimental harness of the paper's Section 6.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        BallRegion, UniformDensity, UncertainObject, UTree,
+        ProbRangeQuery, Rect,
+    )
+
+    tree = UTree(dim=2)
+    for i in range(100):
+        centre = np.random.default_rng(i).uniform(0, 10000, 2)
+        obj = UncertainObject(i, UniformDensity(BallRegion(centre, 250.0)))
+        tree.insert(obj)
+
+    query = ProbRangeQuery(Rect([2000, 2000], [4000, 4000]), threshold=0.8)
+    answer = tree.query(query)
+    print(answer.object_ids, answer.stats.node_accesses)
+"""
+
+from repro.core.catalog import UCatalog
+from repro.core.costmodel import CostEstimate, UTreeCostModel
+from repro.core.cfb import LinearBoxFunction, fit_cfbs, fit_inner_cfb, fit_outer_cfb
+from repro.core.nn import (
+    NNCandidate,
+    NNResult,
+    expected_nearest_neighbors,
+    probabilistic_nearest_neighbors,
+)
+from repro.core.pcr import PCRSet, compute_pcrs
+from repro.core.pruning import CFBRules, PCRRules, Verdict
+from repro.core.query import ProbRangeQuery, QueryAnswer
+from repro.core.scan import SequentialScan
+from repro.core.stats import QueryStats, WorkloadStats
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UpdateCost, UTree
+from repro.geometry.rect import Rect
+from repro.index.rstar import RStarTree
+from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.storage.serialize import load_utree, save_utree
+from repro.uncertainty.montecarlo import AppearanceEstimator, estimate_appearance_probability
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    Density,
+    HistogramDensity,
+    MixtureDensity,
+    RadialExponentialDensity,
+    UniformDensity,
+    poisson_histogram,
+    tabulate_density,
+    zipf_histogram,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion, UncertaintyRegion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppearanceEstimator",
+    "BallRegion",
+    "BoxRegion",
+    "CFBRules",
+    "ConstrainedGaussianDensity",
+    "CostEstimate",
+    "DataFile",
+    "Density",
+    "DiskAddress",
+    "HistogramDensity",
+    "IOCounter",
+    "LinearBoxFunction",
+    "MixtureDensity",
+    "NNCandidate",
+    "NNResult",
+    "PCRRules",
+    "PCRSet",
+    "ProbRangeQuery",
+    "QueryAnswer",
+    "QueryStats",
+    "RStarTree",
+    "RadialExponentialDensity",
+    "Rect",
+    "SequentialScan",
+    "UCatalog",
+    "UPCRTree",
+    "UTree",
+    "UTreeCostModel",
+    "UncertainObject",
+    "UncertaintyRegion",
+    "UniformDensity",
+    "UpdateCost",
+    "Verdict",
+    "WorkloadStats",
+    "compute_pcrs",
+    "estimate_appearance_probability",
+    "expected_nearest_neighbors",
+    "fit_cfbs",
+    "fit_inner_cfb",
+    "fit_outer_cfb",
+    "load_utree",
+    "poisson_histogram",
+    "probabilistic_nearest_neighbors",
+    "save_utree",
+    "tabulate_density",
+    "zipf_histogram",
+]

@@ -1,0 +1,127 @@
+"""The U-catalog: the finite set of probability values with pre-computed PCRs.
+
+Section 4.2 of the paper fixes a system-wide ascending list of values
+``p_1 < p_2 < ... < p_m`` in ``[0, 0.5]`` (the *U-catalog*).  Every object
+pre-computes its PCR at exactly these values; queries then pick the best
+available value conservatively (Observation 2).  The paper's experiments
+use evenly spaced catalogs: ``{0, 0.5/(m-1), 1/(m-1), ..., 0.5}`` for the
+U-PCR tuning study (Fig. 8) and ``{0, 1/28, ..., 14/28}`` (m = 15) for the
+U-tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["UCatalog"]
+
+
+class UCatalog:
+    """An immutable ascending list of catalog probabilities in [0, 0.5]."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[float]):
+        vals = np.asarray(list(values), dtype=np.float64)
+        if vals.size < 1:
+            raise ValueError("a U-catalog needs at least one value")
+        if np.any(vals < 0.0) or np.any(vals > 0.5):
+            raise ValueError("catalog values must lie in [0, 0.5]")
+        if np.any(np.diff(vals) <= 0.0):
+            raise ValueError("catalog values must be strictly ascending")
+        self.values = vals
+        self.values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def evenly_spaced(cls, m: int) -> "UCatalog":
+        """The paper's evenly spaced catalog ``{k * 0.5/(m-1) : k < m}``."""
+        if m < 2:
+            raise ValueError("an evenly spaced catalog needs at least 2 values")
+        return cls(np.linspace(0.0, 0.5, m))
+
+    @classmethod
+    def paper_utree_default(cls) -> "UCatalog":
+        """m = 15 catalog ``{0, 1/28, ..., 14/28}`` used for U-trees (Sec. 6.2)."""
+        return cls(np.arange(15) / 28.0)
+
+    @classmethod
+    def paper_upcr_default(cls, dim: int = 2) -> "UCatalog":
+        """The tuned U-PCR catalog: m = 9 in 2-D, m = 10 in 3-D (Fig. 8)."""
+        return cls.evenly_spaced(9 if dim <= 2 else 10)
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of catalog values (the paper's ``m``)."""
+        return int(self.values.size)
+
+    @property
+    def p_min(self) -> float:
+        """The smallest catalog value ``p_1``."""
+        return float(self.values[0])
+
+    @property
+    def p_max(self) -> float:
+        """The largest catalog value ``p_m``."""
+        return float(self.values[-1])
+
+    @property
+    def total(self) -> float:
+        """``P = sum_j p_j``, the constant in the CFB objective (Formula 11)."""
+        return float(self.values.sum())
+
+    @property
+    def median_index(self) -> int:
+        """Index of the median value, used by the node-split heuristic (Sec. 5.3)."""
+        return self.size // 2
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values.tolist())
+
+    def __getitem__(self, j: int) -> float:
+        return float(self.values[j])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UCatalog):
+            return NotImplemented
+        return bool(np.array_equal(self.values, other.values))
+
+    def __hash__(self) -> int:
+        return hash(self.values.tobytes())
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{v:g}" for v in self.values)
+        return f"UCatalog([{vals}])"
+
+    # ------------------------------------------------------------------
+    # conservative selection (Observation 2)
+    # ------------------------------------------------------------------
+    def index_of_largest_at_most(self, p: float) -> int | None:
+        """Index of the largest catalog value ``<= p``, or None."""
+        idx = int(np.searchsorted(self.values, p, side="right")) - 1
+        return idx if idx >= 0 else None
+
+    def index_of_smallest_at_least(self, p: float) -> int | None:
+        """Index of the smallest catalog value ``>= p``, or None."""
+        idx = int(np.searchsorted(self.values, p, side="left"))
+        return idx if idx < self.size else None
+
+    def largest_at_most(self, p: float) -> float | None:
+        """The largest catalog value ``<= p``, or None."""
+        idx = self.index_of_largest_at_most(p)
+        return None if idx is None else float(self.values[idx])
+
+    def smallest_at_least(self, p: float) -> float | None:
+        """The smallest catalog value ``>= p``, or None."""
+        idx = self.index_of_smallest_at_least(p)
+        return None if idx is None else float(self.values[idx])

@@ -1,0 +1,436 @@
+"""Conservative functional boxes (CFBs), Sections 4.3-4.4 of the paper.
+
+A CFB compresses an object's ``m`` PCRs into a *linear* box-valued function
+of ``p``: the outer CFB satisfies ``cfb_out(p_j) ⊇ pcr(p_j)`` and the inner
+CFB ``cfb_in(p_j) ⊆ pcr(p_j)`` at every catalog value.  Each requires only
+``8d`` floats versus ``2dm`` for raw PCRs, which is what gives the U-tree
+its fanout advantage (Table 1).
+
+Fitting is a linear program per axis (the paper names Simplex, Section
+4.4): minimise the summed margin ``Σ_j MARGIN(cfb_out(p_j))`` subject to
+the containment constraints (inequalities 12-13), and maximise the inner
+margin subject to the reversed constraints plus the non-crossing
+constraint (inequality 14).  We solve these with the library's own
+two-phase simplex (:mod:`repro.lp.simplex`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.catalog import UCatalog
+from repro.core.pcr import PCRSet
+from repro.geometry.rect import Rect
+from repro.lp.simplex import LPStatus, solve_lp
+
+__all__ = [
+    "LinearBoxFunction",
+    "area_proxy_weights",
+    "fit_cfbs",
+    "fit_inner_cfb",
+    "fit_outer_cfb",
+]
+
+_SAFETY = 1e-9
+
+
+class LinearBoxFunction:
+    """A box-valued linear function ``p -> [lo(p), hi(p)]`` per axis.
+
+    Stored as intercept/slope arrays of shape ``(2, d)``: row 0 holds the
+    lower-face parameters, row 1 the upper faces, so
+    ``lo_i(p) = intercept[0, i] + slope[0, i] * p`` and similarly for hi.
+    (The paper writes ``cfb(p) = alpha - beta p``; we keep plain slopes and
+    absorb the sign.)  Lower faces have non-negative slope and upper faces
+    non-positive slope, so boxes shrink as ``p`` grows, matching PCRs.
+    """
+
+    __slots__ = ("intercept", "slope")
+
+    def __init__(self, intercept: np.ndarray, slope: np.ndarray):
+        a = np.asarray(intercept, dtype=np.float64)
+        b = np.asarray(slope, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != 2 or a.shape != b.shape:
+            raise ValueError(f"intercept/slope must both be (2, d), got {a.shape}, {b.shape}")
+        self.intercept = a
+        self.slope = b
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the boxes produced."""
+        return int(self.intercept.shape[1])
+
+    def faces(self, p: float) -> np.ndarray:
+        """Raw ``(2, d)`` face coordinates at ``p`` (lo row may cross hi row)."""
+        return self.intercept + self.slope * p
+
+    def box(self, p: float) -> Rect:
+        """The box at ``p``; crossing faces collapse to their midpoint."""
+        f = self.faces(p)
+        lo, hi = f[0], f[1]
+        crossing = lo > hi
+        if np.any(crossing):
+            mid = (lo + hi) / 2.0
+            lo = np.where(crossing, mid, lo)
+            hi = np.where(crossing, mid, hi)
+        return Rect(lo, hi)
+
+    def lower(self, p: float, axis: int) -> float:
+        """The lower-face plane ``cfb_axis-(p)``."""
+        return float(self.intercept[0, axis] + self.slope[0, axis] * p)
+
+    def upper(self, p: float, axis: int) -> float:
+        """The upper-face plane ``cfb_axis+(p)``."""
+        return float(self.intercept[1, axis] + self.slope[1, axis] * p)
+
+    def profile(self, catalog: UCatalog) -> np.ndarray:
+        """Boxes at every catalog value as an ``(m, 2, d)`` array (clamped)."""
+        ps = catalog.values[:, None, None]
+        out = self.intercept[None, :, :] + self.slope[None, :, :] * ps
+        lo = out[:, 0, :]
+        hi = out[:, 1, :]
+        crossing = lo > hi
+        if np.any(crossing):
+            mid = (lo + hi) / 2.0
+            out[:, 0, :] = np.where(crossing, mid, lo)
+            out[:, 1, :] = np.where(crossing, mid, hi)
+        return out
+
+    def __repr__(self) -> str:
+        return f"LinearBoxFunction(dim={self.dim})"
+
+
+def fit_outer_cfb(
+    pcrs: PCRSet, method: str = "closed-form", weights: np.ndarray | None = None
+) -> LinearBoxFunction:
+    """Fit ``cfb_out``: minimal summed margin subject to covering every PCR.
+
+    The objective (Formula 8) separates per axis and per face, so each face
+    is an independent 2-variable LP:
+
+    * lower face — maximise ``Σ_j w_j (a + b p_j)`` s.t. ``a + b p_j <= pcr_j-``;
+    * upper face — minimise ``Σ_j w_j (a + b p_j)`` s.t. ``a + b p_j >= pcr_j+``;
+
+    with the shrink-direction sign constraint on ``b`` (boxes must not grow
+    with ``p``, mirroring PCR nesting).  With ``weights=None`` all
+    ``w_j = 1`` — the paper's margin objective (Formula 11).  The
+    area-proxy objective of footnote 4 passes per-j weights (see
+    :func:`area_proxy_weights`).
+
+    ``method`` selects the solver: ``"closed-form"`` exploits that the
+    reduced objective is concave piecewise-linear in the slope (optimum at
+    a pairwise constraint intersection); ``"simplex"`` uses the library's
+    two-phase simplex, kept as a cross-checking oracle.
+    """
+    catalog = pcrs.catalog
+    ps = catalog.values
+    w = _face_weights(weights, catalog.size)
+    d = pcrs.dim
+    intercept = np.empty((2, d))
+    slope = np.empty((2, d))
+
+    for axis in range(d):
+        lo_targets = pcrs.boxes[:, 0, axis]
+        hi_targets = pcrs.boxes[:, 1, axis]
+        wa = w if w.ndim == 1 else w[:, axis]
+        intercept[0, axis], slope[0, axis] = _fit_face(
+            ps, wa, lo_targets, side="lower", method=method
+        )
+        intercept[1, axis], slope[1, axis] = _fit_face(
+            ps, wa, hi_targets, side="upper", method=method
+        )
+
+    cfb = LinearBoxFunction(intercept, slope)
+    _repair_outer(cfb, pcrs)
+    return cfb
+
+
+def fit_inner_cfb(pcrs: PCRSet, method: str = "closed-form") -> LinearBoxFunction:
+    """Fit ``cfb_in``: maximal summed margin inside every PCR.
+
+    The two faces of one axis are coupled by the non-crossing constraint
+    (inequality 14), so each axis is in general a 4-variable LP: maximise
+    ``Σ_j (hi(p_j) - lo(p_j))`` subject to ``lo(p_j) >= pcr_j-``,
+    ``hi(p_j) <= pcr_j+`` and ``lo(p_j) <= hi(p_j)``.
+
+    The ``closed-form`` method first solves the two faces independently
+    (the coupling constraint is usually slack because PCR faces never
+    cross) and falls back to the coupled simplex only when the decoupled
+    optima cross at some catalog value.
+    """
+    catalog = pcrs.catalog
+    ps = catalog.values
+    ones = np.ones(catalog.size)
+    d = pcrs.dim
+    intercept = np.empty((2, d))
+    slope = np.empty((2, d))
+
+    for axis in range(d):
+        lo_targets = pcrs.boxes[:, 0, axis]
+        hi_targets = pcrs.boxes[:, 1, axis]
+        solved = False
+        if method == "closed-form":
+            # Hug each PCR face from inside, independently.
+            a_lo, b_lo = _fit_face(ps, ones, lo_targets, side="upper", method=method,
+                                   slope_bounds=(0.0, np.inf))
+            a_hi, b_hi = _fit_face(ps, ones, hi_targets, side="lower", method=method,
+                                   slope_bounds=(-np.inf, 0.0))
+            crossing = (a_lo + b_lo * ps) > (a_hi + b_hi * ps) + _SAFETY
+            if not np.any(crossing):
+                solved = True
+            else:
+                # The decoupled optima cross (typical when the catalog
+                # includes 0.5, where the PCR degenerates): use the
+                # anchored fit, which is feasible and crossing-free.
+                a_lo, b_lo, a_hi, b_hi = _fit_inner_anchored(ps, lo_targets, hi_targets)
+                solved = True
+        if not solved:
+            a_lo, b_lo, a_hi, b_hi = _fit_inner_coupled(
+                ps, catalog.size, catalog.total, lo_targets, hi_targets
+            )
+        intercept[0, axis], slope[0, axis] = a_lo, b_lo
+        intercept[1, axis], slope[1, axis] = a_hi, b_hi
+
+    cfb = LinearBoxFunction(intercept, slope)
+    _repair_inner(cfb, pcrs)
+    return cfb
+
+
+def fit_cfbs(
+    pcrs: PCRSet, method: str = "closed-form"
+) -> tuple[LinearBoxFunction, LinearBoxFunction]:
+    """Fit both CFBs; returns ``(cfb_out, cfb_in)``."""
+    return fit_outer_cfb(pcrs, method=method), fit_inner_cfb(pcrs, method=method)
+
+
+def area_proxy_weights(pcrs: PCRSet) -> np.ndarray:
+    """Per-(j, axis) weights approximating the area objective (footnote 4).
+
+    Minimising ``Σ_j AREA(cfb(p_j))`` is non-linear, but weighting each
+    axis extent by the product of the *PCR* extents of the other axes at
+    ``p_j`` is its natural linearisation.  Returns an ``(m, d)`` array for
+    :func:`fit_outer_cfb`'s ``weights`` argument.
+    """
+    extents = pcrs.boxes[:, 1, :] - pcrs.boxes[:, 0, :]  # (m, d)
+    m, d = extents.shape
+    weights = np.empty((m, d))
+    for axis in range(d):
+        others = np.delete(extents, axis, axis=1)
+        weights[:, axis] = np.prod(others, axis=1) if d > 1 else 1.0
+    # Guard against degenerate (zero-extent) layers dominating.
+    weights = np.maximum(weights, 1e-12)
+    return weights
+
+
+def _face_weights(weights: np.ndarray | None, m: int) -> np.ndarray:
+    if weights is None:
+        return np.ones(m)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape[0] != m or np.any(w <= 0):
+        raise ValueError("weights must be positive with one row per catalog value")
+    return w
+
+
+def _fit_face(
+    ps: np.ndarray,
+    weights: np.ndarray,
+    targets: np.ndarray,
+    side: str,
+    method: str,
+    slope_bounds: tuple[float, float] | None = None,
+) -> tuple[float, float]:
+    """Fit one linear face against target planes.
+
+    ``side="lower"``: hug the targets from below (``a + b p_j <= t_j``)
+    while maximising the weighted sum — used for the outer lower face and
+    the inner upper face.  ``side="upper"``: hug from above while
+    minimising — outer upper face and inner lower face.  Default slope
+    bounds implement the shrink-direction convention.
+    """
+    if side not in ("lower", "upper"):
+        raise ValueError(f"unknown side {side!r}")
+    if slope_bounds is None:
+        slope_bounds = (0.0, np.inf) if side == "lower" else (-np.inf, 0.0)
+    if method == "closed-form":
+        return _fit_face_closed_form(ps, weights, targets, side, slope_bounds)
+    if method == "simplex":
+        return _fit_face_simplex(ps, weights, targets, side, slope_bounds)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _fit_face_closed_form(
+    ps: np.ndarray,
+    weights: np.ndarray,
+    targets: np.ndarray,
+    side: str,
+    slope_bounds: tuple[float, float],
+) -> tuple[float, float]:
+    """Exact solution of the 2-variable face LP.
+
+    For side="lower" the feasible intercepts are ``a <= min_j(t_j - b p_j)``
+    and the objective ``W a + (Σ w_j p_j) b`` is maximised at
+    ``a*(b) = min_j(t_j - b p_j)``, a concave piecewise-linear function of
+    ``b``; its maximum sits at a kink (a pairwise constraint intersection)
+    or at a slope bound.  side="upper" is the convex mirror image.
+    """
+    w_total = float(weights.sum())
+    wp_total = float((weights * ps).sum())
+    lo_b, hi_b = slope_bounds
+
+    # Candidate slopes: pairwise intersections of the constraint lines
+    # plus any finite bounds.
+    diffs_t = targets[:, None] - targets[None, :]
+    diffs_p = ps[:, None] - ps[None, :]
+    mask = np.abs(diffs_p) > 1e-15
+    candidates = diffs_t[mask] / diffs_p[mask]
+    extra = [b for b in (lo_b, hi_b) if np.isfinite(b)]
+    if extra:
+        candidates = np.concatenate([candidates, np.asarray(extra)])
+    if candidates.size == 0:
+        candidates = np.zeros(1)
+    candidates = np.clip(candidates, lo_b, hi_b)
+    candidates = np.unique(candidates)
+    candidates = candidates[np.isfinite(candidates)]
+    if candidates.size == 0:
+        candidates = np.zeros(1)
+
+    # a*(b) per candidate, vectorised: (n_cand, m).
+    residual = targets[None, :] - candidates[:, None] * ps[None, :]
+    if side == "lower":
+        a_star = residual.min(axis=1)
+        objective = w_total * a_star + wp_total * candidates
+        best = int(np.argmax(objective))
+    else:
+        a_star = residual.max(axis=1)
+        objective = w_total * a_star + wp_total * candidates
+        best = int(np.argmin(objective))
+    return float(a_star[best]), float(candidates[best])
+
+
+def _fit_face_simplex(
+    ps: np.ndarray,
+    weights: np.ndarray,
+    targets: np.ndarray,
+    side: str,
+    slope_bounds: tuple[float, float],
+) -> tuple[float, float]:
+    """Simplex oracle for the same face LP (used for cross-checking)."""
+    w_total = float(weights.sum())
+    wp_total = float((weights * ps).sum())
+    c = np.array([w_total, wp_total])
+    lo_b, hi_b = slope_bounds
+    bounds = [
+        (None, None),
+        (None if not np.isfinite(lo_b) else lo_b, None if not np.isfinite(hi_b) else hi_b),
+    ]
+    rows = []
+    rhs = []
+    if side == "lower":
+        for p, t in zip(ps, targets):
+            rows.append([1.0, p])
+            rhs.append(t)
+        result = solve_lp(c, a_ub=rows, b_ub=rhs, bounds=bounds, maximize=True)
+    else:
+        for p, t in zip(ps, targets):
+            rows.append([-1.0, -p])
+            rhs.append(-t)
+        result = solve_lp(c, a_ub=rows, b_ub=rhs, bounds=bounds, maximize=False)
+    if result.status != LPStatus.OPTIMAL:
+        flat = float(np.min(targets) if side == "lower" else np.max(targets))
+        return flat, 0.0
+    return float(result.x[0]), float(result.x[1])
+
+
+def _fit_inner_anchored(
+    ps: np.ndarray,
+    lo_targets: np.ndarray,
+    hi_targets: np.ndarray,
+) -> tuple[float, float, float, float]:
+    """Crossing-free inner fit anchored at the top catalog value.
+
+    Pin both faces to the midpoint ``t`` of the PCR at ``p_m`` (a point
+    both faces may legally touch), then open each face as fast as its
+    containment constraints allow:
+
+    * ``lo(p) = t + b_lo (p - p_m)`` with the largest ``b_lo`` keeping
+      ``lo(p_j) >= pcr_j-`` for all j;
+    * ``hi(p) = t + b_hi (p - p_m)`` with the most negative ``b_hi``
+      keeping ``hi(p_j) <= pcr_j+``.
+
+    Since ``b_lo >= 0 >= b_hi`` and both lines meet at ``p_m``,
+    ``lo(p_j) <= hi(p_j)`` holds everywhere — no crossing by
+    construction.  Feasible always; optimal whenever the coupling
+    constraint binds only at ``p_m``.
+    """
+    p_top = ps[-1]
+    t = (lo_targets[-1] + hi_targets[-1]) / 2.0
+    below = ps < p_top
+    if not np.any(below):
+        return t, 0.0, t, 0.0
+    gaps = p_top - ps[below]
+    b_lo = float(np.min((t - lo_targets[below]) / gaps))
+    b_hi = float(np.max(-(hi_targets[below] - t) / gaps))
+    b_lo = max(b_lo, 0.0)
+    b_hi = min(b_hi, 0.0)
+    a_lo = t - b_lo * p_top
+    a_hi = t - b_hi * p_top
+    return a_lo, b_lo, a_hi, b_hi
+
+
+def _fit_inner_coupled(
+    ps: np.ndarray,
+    m: int,
+    total: float,
+    lo_targets: np.ndarray,
+    hi_targets: np.ndarray,
+) -> tuple[float, float, float, float]:
+    """The coupled 4-variable inner LP (non-crossing constraint active)."""
+    # Variables: [a_lo, b_lo, a_hi, b_hi].
+    # Maximise m*a_hi + P*b_hi - m*a_lo - P*b_lo.
+    c = np.array([-m, -total, m, total])
+    rows = []
+    rhs = []
+    for j in range(m):
+        p = ps[j]
+        rows.append([-1.0, -p, 0.0, 0.0])
+        rhs.append(-lo_targets[j])
+        rows.append([0.0, 0.0, 1.0, p])
+        rhs.append(hi_targets[j])
+        rows.append([1.0, p, -1.0, -p])
+        rhs.append(0.0)
+    bounds = [(None, None), (0.0, None), (None, None), (None, 0.0)]
+    result = solve_lp(c, a_ub=rows, b_ub=rhs, bounds=bounds, maximize=True)
+    if result.status != LPStatus.OPTIMAL:
+        # Always feasible in exact arithmetic (the degenerate point
+        # pcr(p_max) satisfies everything); fall back to it.
+        return float(lo_targets[-1]), 0.0, float(hi_targets[-1]), 0.0
+    a_lo, b_lo, a_hi, b_hi = result.x
+    return float(a_lo), float(b_lo), float(a_hi), float(b_hi)
+
+
+def _repair_outer(cfb: LinearBoxFunction, pcrs: PCRSet) -> None:
+    """Nudge outer faces so containment holds exactly despite LP tolerance."""
+    ps = pcrs.catalog.values
+    for axis in range(pcrs.dim):
+        lo_vals = cfb.intercept[0, axis] + cfb.slope[0, axis] * ps
+        violation = np.max(lo_vals - pcrs.boxes[:, 0, axis])
+        if violation > -_SAFETY:
+            cfb.intercept[0, axis] -= max(violation, 0.0) + _SAFETY
+        hi_vals = cfb.intercept[1, axis] + cfb.slope[1, axis] * ps
+        violation = np.max(pcrs.boxes[:, 1, axis] - hi_vals)
+        if violation > -_SAFETY:
+            cfb.intercept[1, axis] += max(violation, 0.0) + _SAFETY
+
+
+def _repair_inner(cfb: LinearBoxFunction, pcrs: PCRSet) -> None:
+    """Nudge inner faces so containment holds exactly despite LP tolerance."""
+    ps = pcrs.catalog.values
+    for axis in range(pcrs.dim):
+        lo_vals = cfb.intercept[0, axis] + cfb.slope[0, axis] * ps
+        violation = np.max(pcrs.boxes[:, 0, axis] - lo_vals)
+        if violation > -_SAFETY:
+            cfb.intercept[0, axis] += max(violation, 0.0) + _SAFETY
+        hi_vals = cfb.intercept[1, axis] + cfb.slope[1, axis] * ps
+        violation = np.max(hi_vals - pcrs.boxes[:, 1, axis])
+        if violation > -_SAFETY:
+            cfb.intercept[1, axis] -= max(violation, 0.0) + _SAFETY

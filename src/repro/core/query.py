@@ -1,0 +1,97 @@
+"""Probabilistic range queries and the shared refinement step.
+
+A prob-range query (Section 3) is a hyper-rectangle ``r_q`` plus a
+probability threshold ``p_q``; its answer is every object with
+``P_app(o, q) >= p_q``.  All three access methods (U-tree, U-PCR,
+sequential scan) share the same two-phase shape:
+
+1. **filter** — prune/validate objects from pre-computed summaries;
+2. **refinement** — for the surviving candidates, group their disk
+   addresses by page (one I/O per data page, Section 5.2) and compute the
+   appearance probability by Monte-Carlo integration.
+
+The refinement phase is structure-independent and lives here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.stats import QueryStats
+from repro.geometry.rect import Rect
+from repro.storage.pager import DataFile, DiskAddress
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["ProbRangeQuery", "QueryAnswer", "refine_candidates"]
+
+
+@dataclass(frozen=True)
+class ProbRangeQuery:
+    """A probabilistic range query ``q = (r_q, p_q)``."""
+
+    rect: Rect
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+
+    @property
+    def dim(self) -> int:
+        return self.rect.dim
+
+
+@dataclass
+class QueryAnswer:
+    """Result of a prob-range query: matching object ids plus cost stats."""
+
+    object_ids: list[int] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in set(self.object_ids)
+
+    def sorted_ids(self) -> list[int]:
+        return sorted(self.object_ids)
+
+
+def refine_candidates(
+    candidates: Sequence[tuple[int, DiskAddress]],
+    query: ProbRangeQuery,
+    data_file: DataFile,
+    estimator: AppearanceEstimator,
+    stats: QueryStats,
+    results: list[int],
+) -> None:
+    """The refinement step shared by every access method.
+
+    Candidates are grouped by data page; each page is fetched once and the
+    appearance probability of each candidate on it is computed.  Objects
+    reaching the threshold are appended to ``results``; ``stats`` receives
+    the data-page and probability-computation counts.
+    """
+    by_page: dict[int, list[tuple[int, DiskAddress]]] = {}
+    for oid, address in candidates:
+        by_page.setdefault(address.page_id, []).append((oid, address))
+
+    for page_id, group in sorted(by_page.items()):
+        payloads = data_file.read_page(page_id)
+        stats.data_page_reads += 1
+        for oid, address in group:
+            obj = payloads[address.slot]
+            if not isinstance(obj, UncertainObject):  # pragma: no cover - safety
+                raise TypeError(f"data page {page_id} slot {address.slot} is not an object")
+            p_app = obj.appearance_probability(query.rect, estimator)
+            stats.prob_computations += 1
+            if p_app >= query.threshold:
+                results.append(oid)
+
+
+def workload_answers(
+    queries: Iterable[ProbRangeQuery],
+    run_one,
+) -> list[QueryAnswer]:
+    """Run ``run_one(query)`` over a workload, collecting answers."""
+    return [run_one(q) for q in queries]

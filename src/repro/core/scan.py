@@ -1,0 +1,113 @@
+"""Sequential-scan baseline (Section 5, opening paragraph).
+
+Before introducing the U-tree the paper notes that CFBs already enable a
+flat two-phase plan: scan every object summary, prune/validate with
+Observation 3, and refine the survivors.  This class implements that plan
+so experiments can show what the tree's filter step actually buys.
+
+The summaries live in a simulated flat file: scanning charges
+``ceil(n * entry_bytes / page_size)`` page reads per query.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.catalog import UCatalog
+from repro.core.cfb import fit_cfbs
+from repro.core.pcr import compute_pcrs
+from repro.core.pruning import CFBRules, Verdict
+from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
+from repro.core.stats import QueryStats
+from repro.core.utree import UTreeLeafRecord
+from repro.storage.layout import utree_layout
+from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["SequentialScan"]
+
+
+class SequentialScan:
+    """Flat-file filter-and-refine over CFB summaries."""
+
+    def __init__(
+        self,
+        dim: int,
+        catalog: UCatalog | None = None,
+        *,
+        page_size: int = 4096,
+        io: IOCounter | None = None,
+        estimator: AppearanceEstimator | None = None,
+    ):
+        self.catalog = catalog if catalog is not None else UCatalog.paper_utree_default()
+        self.dim = dim
+        self.page_size = page_size
+        self.io = io if io is not None else IOCounter()
+        self.estimator = estimator if estimator is not None else AppearanceEstimator()
+        self.data_file = DataFile(self.io, page_size)
+        self._entry_bytes = utree_layout(dim, page_size).leaf_entry_bytes
+        self._records: list[UTreeLeafRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def scan_pages(self) -> int:
+        """Flat-file pages one full scan must read."""
+        if not self._records:
+            return 0
+        return math.ceil(len(self._records) * self._entry_bytes / self.page_size)
+
+    def insert(self, obj: UncertainObject) -> None:
+        """Append an object summary to the flat file."""
+        if obj.dim != self.dim:
+            raise ValueError(f"object dimensionality {obj.dim} != scan dimensionality {self.dim}")
+        pcrs = compute_pcrs(obj, self.catalog)
+        outer, inner = fit_cfbs(pcrs)
+        address = self.data_file.append(obj, obj.detail_size_bytes())
+        self._records.append(
+            UTreeLeafRecord(
+                oid=obj.oid,
+                mbr=obj.mbr,
+                outer=outer,
+                inner=inner,
+                address=address,
+                rules=CFBRules(self.catalog, outer, inner),
+            )
+        )
+
+    def delete(self, oid: int) -> bool:
+        """Remove an object summary by id."""
+        for i, record in enumerate(self._records):
+            if record.oid == oid:
+                del self._records[i]
+                return True
+        return False
+
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query by scanning every summary."""
+        start = time.perf_counter()
+        stats = QueryStats()
+        answer = QueryAnswer(stats=stats)
+        candidates: list[tuple[int, DiskAddress]] = []
+
+        stats.node_accesses = self.scan_pages
+        self.io.record_read(stats.node_accesses)
+        for record in self._records:
+            verdict = record.rules.apply(record.mbr, query.rect, query.threshold)
+            if verdict is Verdict.VALIDATED:
+                answer.object_ids.append(record.oid)
+                stats.validated_directly += 1
+            elif verdict is Verdict.CANDIDATE:
+                candidates.append((record.oid, record.address))
+            else:
+                stats.pruned += 1
+
+        refine_candidates(
+            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
+        )
+        stats.result_count = len(answer.object_ids)
+        stats.wall_seconds = time.perf_counter() - start
+        return answer

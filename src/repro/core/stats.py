@@ -1,0 +1,100 @@
+"""Cost accounting for queries and updates.
+
+The paper reports, per workload: average node accesses (I/O), average
+number of appearance-probability computations plus the percentage of
+qualifying objects validated without computation (CPU), and total elapsed
+time.  These dataclasses collect exactly those series so the experiment
+harness can print paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats", "WorkloadStats"]
+
+
+@dataclass
+class QueryStats:
+    """Per-query cost breakdown."""
+
+    node_accesses: int = 0
+    data_page_reads: int = 0
+    prob_computations: int = 0
+    validated_directly: int = 0
+    pruned: int = 0
+    result_count: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def total_io(self) -> int:
+        """Filter-step node accesses plus refinement-step data pages."""
+        return self.node_accesses + self.data_page_reads
+
+    @property
+    def validated_fraction(self) -> float:
+        """Fraction of qualifying objects reported without computing P_app.
+
+        This is the percentage annotated on the CPU panels of Figs. 9-10.
+        """
+        if self.result_count == 0:
+            return 0.0
+        return self.validated_directly / self.result_count
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate over a workload (the paper uses 100 queries/workload)."""
+
+    queries: list[QueryStats] = field(default_factory=list)
+
+    def add(self, stats: QueryStats) -> None:
+        self.queries.append(stats)
+
+    @property
+    def count(self) -> int:
+        return len(self.queries)
+
+    def _mean(self, values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def avg_node_accesses(self) -> float:
+        return self._mean([q.node_accesses for q in self.queries])
+
+    @property
+    def avg_total_io(self) -> float:
+        return self._mean([q.total_io for q in self.queries])
+
+    @property
+    def avg_prob_computations(self) -> float:
+        return self._mean([q.prob_computations for q in self.queries])
+
+    @property
+    def avg_result_count(self) -> float:
+        return self._mean([q.result_count for q in self.queries])
+
+    @property
+    def avg_wall_seconds(self) -> float:
+        return self._mean([q.wall_seconds for q in self.queries])
+
+    @property
+    def validated_percentage(self) -> float:
+        """Workload-level percentage of results validated without P_app."""
+        results = sum(q.result_count for q in self.queries)
+        if results == 0:
+            return 0.0
+        validated = sum(q.validated_directly for q in self.queries)
+        return 100.0 * validated / results
+
+    def summary(self) -> dict[str, float]:
+        """All headline numbers in one dict (for tables and benchmarks)."""
+        return {
+            "queries": float(self.count),
+            "avg_node_accesses": self.avg_node_accesses,
+            "avg_total_io": self.avg_total_io,
+            "avg_prob_computations": self.avg_prob_computations,
+            "avg_result_count": self.avg_result_count,
+            "avg_wall_seconds": self.avg_wall_seconds,
+            "validated_percentage": self.validated_percentage,
+        }

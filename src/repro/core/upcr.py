@@ -1,0 +1,205 @@
+"""U-PCR: the paper's comparison structure (Section 6).
+
+U-PCR is "the U-tree's variation that stores the PCRs in (leaf and
+intermediate) entries, as opposed to CFBs".  Concretely:
+
+* a leaf entry stores all ``m`` PCR rectangles of its object (``2dm``
+  floats) plus the object MBR and disk address — larger entries, smaller
+  fanout (Table 1);
+* an intermediate entry stores, for each catalog value, the exact MBR of
+  its children's boxes at that value (no chord approximation), so its
+  subtree pruning boxes are tighter than the U-tree's but cost ``2dm``
+  floats;
+* leaf-level filtering uses Observation 2 directly on exact PCRs, which
+  is slightly stronger than the U-tree's CFB-based Observation 3.
+
+The trade — fewer P_app computations but many more node accesses — is
+exactly what Figs. 9-10 measure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.catalog import UCatalog
+from repro.core.pcr import PCRSet, compute_pcrs
+from repro.core.pruning import PCRRules, Verdict, subtree_may_qualify
+from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
+from repro.core.stats import QueryStats
+from repro.core.utree import UpdateCost
+from repro.geometry.rect import Rect
+from repro.index.engine import RStarEngine
+from repro.index.node import Entry
+from repro.storage.layout import upcr_layout
+from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["UPCRTree", "UPCRLeafRecord"]
+
+
+@dataclass
+class UPCRLeafRecord:
+    """Payload of a U-PCR leaf entry."""
+
+    oid: int
+    pcrs: PCRSet
+    address: DiskAddress
+    rules: PCRRules
+
+
+class UPCRTree:
+    """The PCR-storing comparison index."""
+
+    def __init__(
+        self,
+        dim: int,
+        catalog: UCatalog | None = None,
+        *,
+        page_size: int = 4096,
+        io: IOCounter | None = None,
+        estimator: AppearanceEstimator | None = None,
+        split_mode: str = "median-layer",
+    ):
+        self.catalog = catalog if catalog is not None else UCatalog.paper_upcr_default(dim)
+        self.dim = dim
+        self.io = io if io is not None else IOCounter()
+        self.estimator = estimator if estimator is not None else AppearanceEstimator()
+        layout = upcr_layout(dim, self.catalog.size, page_size)
+        self.engine = RStarEngine(
+            dim,
+            self.catalog.size,
+            layout,
+            io=self.io,
+            chord_values=None,  # exact per-layer unions
+            split_mode=split_mode,
+        )
+        self.data_file = DataFile(self.io, page_size)
+        self._profiles: dict[int, object] = {}
+
+    @classmethod
+    def bulk_load(
+        cls,
+        objects,
+        dim: int | None = None,
+        catalog: UCatalog | None = None,
+        fill: float = 1.0,
+        **kwargs,
+    ) -> "UPCRTree":
+        """Build a U-PCR tree by STR packing (see :meth:`UTree.bulk_load`)."""
+        from repro.index.bulkload import bulk_load as engine_bulk_load
+
+        objects = list(objects)
+        if not objects and dim is None:
+            raise ValueError("cannot infer dimensionality from an empty object list")
+        tree = cls(dim if dim is not None else objects[0].dim, catalog, **kwargs)
+        items = []
+        for obj in objects:
+            if obj.dim != tree.dim:
+                raise ValueError(
+                    f"object dimensionality {obj.dim} != tree dimensionality {tree.dim}"
+                )
+            pcrs = compute_pcrs(obj, tree.catalog)
+            address = tree.data_file.append(obj, obj.detail_size_bytes())
+            record = UPCRLeafRecord(
+                oid=obj.oid, pcrs=pcrs, address=address, rules=PCRRules(pcrs)
+            )
+            profile = pcrs.profile().copy()
+            items.append((profile, record))
+            tree._profiles[obj.oid] = profile
+        engine_bulk_load(tree.engine, items, fill=fill)
+        return tree
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    @property
+    def size_bytes(self) -> int:
+        """Index size in bytes (node pages only, as in Table 1)."""
+        return self.engine.size_bytes
+
+    @property
+    def height(self) -> int:
+        return self.engine.height
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, obj: UncertainObject) -> UpdateCost:
+        """Insert an object; the CPU component is PCR derivation only."""
+        if obj.dim != self.dim:
+            raise ValueError(f"object dimensionality {obj.dim} != tree dimensionality {self.dim}")
+        snapshot = self.io.snapshot()
+        start = time.perf_counter()
+        pcrs = compute_pcrs(obj, self.catalog)
+        profile = pcrs.profile().copy()
+        cpu = time.perf_counter() - start
+
+        address = self.data_file.append(obj, obj.detail_size_bytes())
+        record = UPCRLeafRecord(
+            oid=obj.oid, pcrs=pcrs, address=address, rules=PCRRules(pcrs)
+        )
+        self.engine.insert(profile, record)
+        self._profiles[obj.oid] = profile
+        reads, writes = self.io.delta(snapshot)
+        return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=cpu)
+
+    def delete(self, oid: int) -> UpdateCost | None:
+        """Delete an object by id; returns its cost, or None if absent."""
+        profile = self._profiles.get(oid)
+        if profile is None:
+            return None
+        snapshot = self.io.snapshot()
+        removed = self.engine.delete(lambda rec: rec.oid == oid, profile)
+        if not removed:
+            return None
+        del self._profiles[oid]
+        reads, writes = self.io.delta(snapshot)
+        return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=0.0)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._profiles
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query (filter + refinement)."""
+        start = time.perf_counter()
+        stats = QueryStats()
+        answer = QueryAnswer(stats=stats)
+        rq = query.rect
+        pq = query.threshold
+        candidates: list[tuple[int, DiskAddress]] = []
+
+        def descend(entry: Entry) -> bool:
+            return subtree_may_qualify(
+                self.catalog,
+                lambda j: Rect(entry.profile[j, 0], entry.profile[j, 1]),
+                rq,
+                pq,
+            )
+
+        def on_leaf(entry: Entry) -> None:
+            record: UPCRLeafRecord = entry.data
+            verdict = record.rules.apply(rq, pq)
+            if verdict is Verdict.VALIDATED:
+                answer.object_ids.append(record.oid)
+                stats.validated_directly += 1
+            elif verdict is Verdict.CANDIDATE:
+                candidates.append((record.oid, record.address))
+            else:
+                stats.pruned += 1
+
+        stats.node_accesses = self.engine.traverse(descend, on_leaf)
+        refine_candidates(
+            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
+        )
+        stats.result_count = len(answer.object_ids)
+        stats.wall_seconds = time.perf_counter() - start
+        return answer
+
+    def check_invariants(self) -> None:
+        """Validate the structural invariants of the underlying engine."""
+        self.engine.check_invariants()

@@ -1,0 +1,262 @@
+"""The U-tree: the paper's primary contribution (Section 5).
+
+A U-tree is an R*-style dynamic index over uncertain objects:
+
+* a **leaf entry** stores the object's two CFBs, the MBR of its
+  uncertainty region and the disk address of its detail record;
+* an **intermediate entry** stores two rectangles — ``MBR⊥``, bounding the
+  children's ``cfb_out(p_1)``, and ``MBR``, bounding their
+  ``cfb_out(p_m)`` — from which the linear function ``e.MBR(p)``
+  (Eq. 15) is derived on demand;
+* updates use the R* algorithms with summed penalty metrics and the
+  median-catalog-value split heuristic (Section 5.3);
+* a prob-range query prunes subtrees with Observation 4, prunes/validates
+  leaf objects with Observation 3, and sends the survivors to Monte-Carlo
+  refinement grouped by data page (Section 5.2).
+
+The chord-interpolation behaviour of intermediate entries is provided by
+the engine's ``chord_values`` mode; byte-faithful fanout comes from
+:func:`repro.storage.layout.utree_layout`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.catalog import UCatalog
+from repro.core.cfb import LinearBoxFunction, fit_cfbs
+from repro.core.pcr import compute_pcrs
+from repro.core.pruning import CFBRules, Verdict, subtree_may_qualify
+from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
+from repro.core.stats import QueryStats
+from repro.geometry.rect import Rect
+from repro.index.engine import RStarEngine
+from repro.index.node import Entry
+from repro.storage.layout import utree_layout
+from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["UTree", "UTreeLeafRecord", "UpdateCost"]
+
+
+@dataclass
+class UTreeLeafRecord:
+    """Payload of a U-tree leaf entry (what one leaf slot stores on disk)."""
+
+    oid: int
+    mbr: Rect
+    outer: LinearBoxFunction
+    inner: LinearBoxFunction
+    address: DiskAddress
+    rules: CFBRules
+
+
+@dataclass
+class UpdateCost:
+    """Cost breakdown of one insertion/deletion (Fig. 11)."""
+
+    io_reads: int = 0
+    io_writes: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def io_total(self) -> int:
+        return self.io_reads + self.io_writes
+
+
+class UTree:
+    """A dynamic U-tree over multi-dimensional uncertain objects."""
+
+    def __init__(
+        self,
+        dim: int,
+        catalog: UCatalog | None = None,
+        *,
+        page_size: int = 4096,
+        io: IOCounter | None = None,
+        estimator: AppearanceEstimator | None = None,
+        split_mode: str = "median-layer",
+        intermediate_bounds: str = "linear",
+    ):
+        """Build an empty U-tree.
+
+        ``intermediate_bounds`` selects how non-leaf entries summarise
+        their subtree: ``"linear"`` is the paper's design (store MBR⊥ and
+        MBR, derive e.MBR(p) by Eq. 15); ``"exact"`` stores the exact
+        union at every catalog value — tighter pruning boxes at the same
+        simulated entry size, used only for the ablation bench that
+        quantifies what the linear approximation costs.
+        """
+        if intermediate_bounds not in ("linear", "exact"):
+            raise ValueError(f"unknown intermediate_bounds {intermediate_bounds!r}")
+        self.catalog = catalog if catalog is not None else UCatalog.paper_utree_default()
+        self.dim = dim
+        self.io = io if io is not None else IOCounter()
+        self.estimator = estimator if estimator is not None else AppearanceEstimator()
+        layout = utree_layout(dim, page_size)
+        self.engine = RStarEngine(
+            dim,
+            self.catalog.size,
+            layout,
+            io=self.io,
+            chord_values=self.catalog.values if intermediate_bounds == "linear" else None,
+            split_mode=split_mode,
+        )
+        self.data_file = DataFile(self.io, page_size)
+        self._profiles: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        objects,
+        dim: int | None = None,
+        catalog: UCatalog | None = None,
+        fill: float = 1.0,
+        **kwargs,
+    ) -> "UTree":
+        """Build a U-tree by STR packing instead of repeated insertion.
+
+        Produces near-full nodes (fewer pages, better query I/O) at a
+        build cost of one CFB fit per object plus a few sorts — see
+        ``benchmarks/test_bulkload.py`` for the comparison against the
+        paper's insert-based construction.
+        """
+        from repro.index.bulkload import bulk_load as engine_bulk_load
+
+        objects = list(objects)
+        if not objects and dim is None:
+            raise ValueError("cannot infer dimensionality from an empty object list")
+        tree = cls(dim if dim is not None else objects[0].dim, catalog, **kwargs)
+        items = []
+        for obj in objects:
+            if obj.dim != tree.dim:
+                raise ValueError(
+                    f"object dimensionality {obj.dim} != tree dimensionality {tree.dim}"
+                )
+            pcrs = compute_pcrs(obj, tree.catalog)
+            outer, inner = fit_cfbs(pcrs)
+            address = tree.data_file.append(obj, obj.detail_size_bytes())
+            record = UTreeLeafRecord(
+                oid=obj.oid,
+                mbr=obj.mbr,
+                outer=outer,
+                inner=inner,
+                address=address,
+                rules=CFBRules(tree.catalog, outer, inner),
+            )
+            profile = outer.profile(tree.catalog)
+            items.append((profile, record))
+            tree._profiles[obj.oid] = profile
+        engine_bulk_load(tree.engine, items, fill=fill)
+        return tree
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    @property
+    def size_bytes(self) -> int:
+        """Index size in bytes (node pages only, as in Table 1)."""
+        return self.engine.size_bytes
+
+    @property
+    def height(self) -> int:
+        return self.engine.height
+
+    def insert(self, obj: UncertainObject) -> UpdateCost:
+        """Insert an object; returns the I/O + CPU cost breakdown.
+
+        The CPU component covers PCR derivation and the simplex fits —
+        the paper's one-time per-object cost (Section 4.4, Fig. 11a).
+        """
+        if obj.dim != self.dim:
+            raise ValueError(f"object dimensionality {obj.dim} != tree dimensionality {self.dim}")
+        snapshot = self.io.snapshot()
+        start = time.perf_counter()
+        pcrs = compute_pcrs(obj, self.catalog)
+        outer, inner = fit_cfbs(pcrs)
+        profile = outer.profile(self.catalog)
+        cpu = time.perf_counter() - start
+
+        address = self.data_file.append(obj, obj.detail_size_bytes())
+        record = UTreeLeafRecord(
+            oid=obj.oid,
+            mbr=obj.mbr,
+            outer=outer,
+            inner=inner,
+            address=address,
+            rules=CFBRules(self.catalog, outer, inner),
+        )
+        self.engine.insert(profile, record)
+        self._profiles[obj.oid] = profile
+        reads, writes = self.io.delta(snapshot)
+        return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=cpu)
+
+    def delete(self, oid: int) -> UpdateCost | None:
+        """Delete an object by id; returns its cost, or None if absent."""
+        profile = self._profiles.get(oid)
+        if profile is None:
+            return None
+        snapshot = self.io.snapshot()
+        removed = self.engine.delete(lambda rec: rec.oid == oid, profile)
+        if not removed:
+            return None
+        del self._profiles[oid]
+        reads, writes = self.io.delta(snapshot)
+        return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=0.0)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._profiles
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query (filter + refinement)."""
+        start = time.perf_counter()
+        stats = QueryStats()
+        answer = QueryAnswer(stats=stats)
+        rq = query.rect
+        pq = query.threshold
+        candidates: list[tuple[int, DiskAddress]] = []
+
+        def descend(entry: Entry) -> bool:
+            return subtree_may_qualify(
+                self.catalog,
+                lambda j: Rect(entry.profile[j, 0], entry.profile[j, 1]),
+                rq,
+                pq,
+            )
+
+        def on_leaf(entry: Entry) -> None:
+            record: UTreeLeafRecord = entry.data
+            verdict = record.rules.apply(record.mbr, rq, pq)
+            if verdict is Verdict.VALIDATED:
+                answer.object_ids.append(record.oid)
+                stats.validated_directly += 1
+            elif verdict is Verdict.CANDIDATE:
+                candidates.append((record.oid, record.address))
+            else:
+                stats.pruned += 1
+
+        stats.node_accesses = self.engine.traverse(descend, on_leaf)
+        refine_candidates(
+            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
+        )
+        stats.result_count = len(answer.object_ids)
+        stats.wall_seconds = time.perf_counter() - start
+        return answer
+
+    # ------------------------------------------------------------------
+    # maintenance helpers
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate the structural invariants of the underlying engine."""
+        self.engine.check_invariants()

@@ -1,0 +1,21 @@
+"""Dataset generators and query workloads (paper Section 6)."""
+
+from repro.datasets.aircraft import aircraft_objects, aircraft_points
+from repro.datasets.synthetic import (
+    california_like,
+    clustered_points,
+    long_beach_like,
+    to_uncertain_objects,
+)
+from repro.datasets.workload import make_workload, workload_grid
+
+__all__ = [
+    "aircraft_objects",
+    "aircraft_points",
+    "california_like",
+    "clustered_points",
+    "long_beach_like",
+    "make_workload",
+    "to_uncertain_objects",
+    "workload_grid",
+]

@@ -1,0 +1,53 @@
+"""The 3-D Aircraft dataset (paper Section 6).
+
+The paper builds its 3-D workload as follows: 2000 points sampled from LB
+act as "airports"; each aircraft picks a random source/destination airport
+pair, its (x, y) position is a random point on the connecting segment, and
+its altitude is uniform in the (normalised) range [0, 10000].  Uncertainty
+regions are spheres of radius 125 with Uniform pdfs.  We follow the same
+recipe over the synthetic LB stand-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import DOMAIN_HIGH, DOMAIN_LOW, long_beach_like, to_uncertain_objects
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["aircraft_points", "aircraft_objects"]
+
+
+def aircraft_points(
+    n: int = 100_000,
+    n_airports: int = 2000,
+    seed: int = 47,
+    airport_source: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reported (x, y, altitude) locations of ``n`` aircraft."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n_airports < 2:
+        raise ValueError("need at least two airports")
+    rng = np.random.default_rng(seed)
+    if airport_source is None:
+        airport_source = long_beach_like(max(n_airports * 5, 10_000), seed=seed + 1)
+    airports = airport_source[rng.choice(len(airport_source), size=n_airports, replace=False)]
+
+    src = airports[rng.integers(0, n_airports, size=n)]
+    dst = airports[rng.integers(0, n_airports, size=n)]
+    t = rng.random((n, 1))
+    xy = src + t * (dst - src)
+    altitude = rng.uniform(DOMAIN_LOW, DOMAIN_HIGH, size=(n, 1))
+    return np.hstack([xy, altitude])
+
+
+def aircraft_objects(
+    n: int = 100_000,
+    radius: float = 125.0,
+    seed: int = 47,
+    first_oid: int = 0,
+) -> list[UncertainObject]:
+    """Aircraft as uncertain objects: spherical regions, Uniform pdfs."""
+    points = aircraft_points(n, seed=seed)
+    return to_uncertain_objects(points, radius=radius, pdf="uniform", first_oid=first_oid)

@@ -1,0 +1,70 @@
+"""Query workload generation (paper Section 6).
+
+A workload is a set of prob-range queries sharing the same parameters: the
+search region is a square/cube with side length ``qs`` whose location
+follows the distribution of the underlying data (the paper samples query
+centres from the dataset), and all queries share one probability threshold
+``pq``.  The paper uses 100 queries per workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import ProbRangeQuery
+from repro.geometry.rect import Rect
+
+__all__ = ["make_workload", "workload_grid"]
+
+
+def make_workload(
+    points: np.ndarray,
+    n_queries: int,
+    qs: float,
+    pq: float,
+    seed: int = 0,
+) -> list[ProbRangeQuery]:
+    """Build a workload of ``n_queries`` prob-range queries.
+
+    Args:
+        points: ``(n, d)`` data points; query centres are sampled from
+            them so the query distribution follows the data distribution.
+        n_queries: queries per workload (paper: 100).
+        qs: side length of the (hyper-)square search region.
+        pq: probability threshold shared by the workload.
+        seed: RNG seed for centre selection.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    if n_queries < 1:
+        raise ValueError("n_queries must be positive")
+    if qs <= 0:
+        raise ValueError("qs must be positive")
+    rng = np.random.default_rng(seed)
+    centres = pts[rng.integers(0, pts.shape[0], size=n_queries)]
+    half = qs / 2.0
+    return [
+        ProbRangeQuery(Rect.from_center(centre, half), pq) for centre in centres
+    ]
+
+
+def workload_grid(
+    points: np.ndarray,
+    n_queries: int,
+    qs_values: list[float],
+    pq_values: list[float],
+    seed: int = 0,
+) -> dict[tuple[float, float], list[ProbRangeQuery]]:
+    """Workloads for every (qs, pq) combination, keyed by the pair.
+
+    All workloads with the same ``qs`` share query centres (only the
+    threshold differs), mirroring how the paper sweeps one parameter while
+    fixing the other.
+    """
+    grids: dict[tuple[float, float], list[ProbRangeQuery]] = {}
+    for i, qs in enumerate(qs_values):
+        base = make_workload(points, n_queries, qs, pq_values[0], seed=seed + i)
+        for pq in pq_values:
+            grids[(qs, pq)] = [ProbRangeQuery(q.rect, pq) for q in base]
+    return grids

@@ -1,0 +1,19 @@
+"""Experiment harness reproducing every table and figure of Section 6.
+
+Run any experiment as a module, e.g. ``python -m repro.experiments.fig9``;
+set ``REPRO_FULL_SCALE=1`` for paper-scale parameters (see DESIGN.md §5).
+"""
+
+from repro.experiments.config import BENCH_SCALE, DEFAULT_SCALE, FULL_SCALE, Scale, active_scale
+from repro.experiments.harness import format_table, run_workload, total_cost_seconds
+
+__all__ = [
+    "BENCH_SCALE",
+    "DEFAULT_SCALE",
+    "FULL_SCALE",
+    "Scale",
+    "active_scale",
+    "format_table",
+    "run_workload",
+    "total_cost_seconds",
+]

@@ -1,0 +1,125 @@
+"""Cached dataset and index construction for the experiment harness.
+
+Experiments share datasets and built indexes heavily (Fig. 9 and Fig. 10
+query the same trees, Table 1 measures them, Fig. 8 builds U-PCR variants
+over the same points), so everything here is memoised per (dataset, scale,
+structure parameters).  The cache holds live objects; the simulated I/O
+counters are per-tree, so sharing is safe across experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.catalog import UCatalog
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UTree
+from repro.datasets.aircraft import aircraft_points
+from repro.datasets.synthetic import california_like, long_beach_like, to_uncertain_objects
+from repro.experiments.config import Scale
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = [
+    "DATASETS",
+    "dataset_points",
+    "dataset_objects",
+    "build_utree",
+    "build_upcr",
+    "clear_caches",
+]
+
+DATASETS = ("LB", "CA", "Aircraft")
+
+_ESTIMATOR_SEED = 7
+
+_points_cache: dict[tuple, np.ndarray] = {}
+_objects_cache: dict[tuple, list[UncertainObject]] = {}
+_tree_cache: dict[tuple, object] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoised datasets and trees (used between test sessions)."""
+    _points_cache.clear()
+    _objects_cache.clear()
+    _tree_cache.clear()
+
+
+def dataset_points(name: str, scale: Scale) -> np.ndarray:
+    """Reported locations of one of the paper's three datasets."""
+    key = (name, scale.lb_objects, scale.ca_objects, scale.aircraft_objects)
+    if key not in _points_cache:
+        if name == "LB":
+            pts = long_beach_like(scale.lb_objects)
+        elif name == "CA":
+            pts = california_like(scale.ca_objects)
+        elif name == "Aircraft":
+            pts = aircraft_points(scale.aircraft_objects)
+        else:
+            raise ValueError(f"unknown dataset {name!r}; pick one of {DATASETS}")
+        _points_cache[key] = pts
+    return _points_cache[key]
+
+
+def dataset_objects(name: str, scale: Scale) -> list[UncertainObject]:
+    """Uncertain objects per the paper's Section 6 recipe.
+
+    LB: Uniform pdfs over radius-250 circles.  CA: Constrained-Gaussian
+    (sigma = 125) over radius-250 circles.  Aircraft: Uniform pdfs over
+    radius-125 spheres.
+    """
+    key = (name, scale.lb_objects, scale.ca_objects, scale.aircraft_objects)
+    if key not in _objects_cache:
+        points = dataset_points(name, scale)
+        if name == "LB":
+            objs = to_uncertain_objects(points, radius=250.0, pdf="uniform")
+        elif name == "CA":
+            objs = to_uncertain_objects(points, radius=250.0, pdf="congau", sigma=125.0)
+        else:
+            objs = to_uncertain_objects(points, radius=125.0, pdf="uniform")
+        _objects_cache[key] = objs
+    return _objects_cache[key]
+
+
+def _estimator(scale: Scale) -> AppearanceEstimator:
+    return AppearanceEstimator(n_samples=scale.mc_samples, seed=_ESTIMATOR_SEED)
+
+
+def build_utree(
+    name: str,
+    scale: Scale,
+    catalog: UCatalog | None = None,
+    **tree_kwargs,
+) -> UTree:
+    """A memoised U-tree over the named dataset."""
+    cat = catalog if catalog is not None else UCatalog.paper_utree_default()
+    key = ("utree", name, scale.name, cat, tuple(sorted(tree_kwargs.items())))
+    if key not in _tree_cache:
+        objects = dataset_objects(name, scale)
+        dim = objects[0].dim
+        tree = UTree(dim, cat, estimator=_estimator(scale), **tree_kwargs)
+        for obj in objects:
+            tree.insert(obj)
+        _tree_cache[key] = tree
+    return _tree_cache[key]  # type: ignore[return-value]
+
+
+def build_upcr(
+    name: str,
+    scale: Scale,
+    catalog: UCatalog | None = None,
+    **tree_kwargs,
+) -> UPCRTree:
+    """A memoised U-PCR tree over the named dataset."""
+    if catalog is None:
+        dim = 3 if name == "Aircraft" else 2
+        catalog = UCatalog.paper_upcr_default(dim)
+    key = ("upcr", name, scale.name, catalog, tuple(sorted(tree_kwargs.items())))
+    if key not in _tree_cache:
+        objects = dataset_objects(name, scale)
+        dim = objects[0].dim
+        tree = UPCRTree(dim, catalog, estimator=_estimator(scale), **tree_kwargs)
+        for obj in objects:
+            tree.insert(obj)
+        _tree_cache[key] = tree
+    return _tree_cache[key]  # type: ignore[return-value]

@@ -1,0 +1,93 @@
+"""Figure 11 — update overhead of the U-tree.
+
+The paper reports (a) the average cost of one insertion during index
+construction, broken into I/O and CPU — where CPU covers the simplex runs
+that fit the CFBs plus PCR derivation — and (b) the amortised cost of
+deleting every object.  Expected shapes: insertion CPU dominated by the
+one-time CFB/PCR computation with a small I/O component; deletion
+dominated by I/O (locating the leaf plus condensing), CPU negligible.
+
+This experiment builds fresh trees (no cache) because it *is* the build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.utree import UTree
+from repro.experiments.config import Scale, active_scale
+from repro.experiments.data import DATASETS, dataset_objects
+from repro.experiments.harness import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(scale: Scale | None = None, datasets: tuple[str, ...] = DATASETS) -> dict:
+    """Measure per-dataset insertion and deletion cost of the U-tree."""
+    scale = scale if scale is not None else active_scale()
+    out: dict = {}
+    for name in datasets:
+        objects = dataset_objects(name, scale)
+        dim = objects[0].dim
+        tree = UTree(dim)
+
+        insert_io = []
+        insert_cpu = []
+        for obj in objects:
+            cost = tree.insert(obj)
+            insert_io.append(cost.io_total)
+            insert_cpu.append(cost.cpu_seconds)
+
+        delete_io = []
+        rng = np.random.default_rng(5)
+        order = rng.permutation(len(objects))
+        for idx in order:
+            cost = tree.delete(objects[idx].oid)
+            assert cost is not None
+            delete_io.append(cost.io_total)
+
+        out[name] = {
+            "insert_avg_io": float(np.mean(insert_io)),
+            "insert_avg_cpu_seconds": float(np.mean(insert_cpu)),
+            "insert_avg_io_seconds": float(np.mean(insert_io)) * scale.io_latency_seconds,
+            "delete_avg_io": float(np.mean(delete_io)),
+            "delete_avg_io_seconds": float(np.mean(delete_io)) * scale.io_latency_seconds,
+            "objects": len(objects),
+        }
+    return out
+
+
+def main() -> None:
+    results = run()
+    rows = []
+    for name, row in results.items():
+        rows.append(
+            [
+                name,
+                row["objects"],
+                row["insert_avg_io"],
+                row["insert_avg_io_seconds"],
+                row["insert_avg_cpu_seconds"],
+                row["delete_avg_io"],
+                row["delete_avg_io_seconds"],
+            ]
+        )
+    print("Figure 11: U-tree update overhead (per-operation averages)")
+    print(
+        format_table(
+            [
+                "dataset",
+                "objects",
+                "ins IO",
+                "ins IO (s)",
+                "ins CPU (s)",
+                "del IO",
+                "del IO (s)",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Figure 7 — cost of numerically evaluating appearance probabilities.
+
+The paper measures the relative error and per-evaluation time of the
+Monte-Carlo estimator (Eq. 3) as the sample count ``n1`` grows, in 2-D and
+3-D, and concludes that ``n1 = 10^6`` is needed for ~1 % error (3-D being
+worse because a sphere's volume is "larger" relative to a query).  We
+reproduce the study: one uncertain object per dimensionality, a workload
+of qs = 500 queries with varying overlap against its region, and errors
+measured against a high-sample reference estimate.
+
+Expected shape: error falls roughly as ``1 / sqrt(n1)``; 3-D errors exceed
+2-D at equal ``n1``; time grows linearly with ``n1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import Scale, active_scale
+from repro.experiments.harness import format_table
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+__all__ = ["run", "main"]
+
+_QS = 500.0
+
+
+def _study_object(dim: int) -> UniformDensity:
+    """The probe object: a centred ball region with a Uniform pdf.
+
+    The paper notes accuracy depends only on the region's area/volume, not
+    the pdf, so Uniform suffices.
+    """
+    centre = np.full(dim, 5000.0)
+    # Same radius in both dimensionalities: the paper's point is that at
+    # equal region scale, 3-D needs more samples for the same error.
+    return UniformDensity(BallRegion(centre, 250.0), marginal_seed=dim)
+
+
+def _study_queries(density: UniformDensity, n_queries: int, seed: int = 3) -> list[Rect]:
+    """qs = 500 query boxes with varying partial overlap of the region."""
+    rng = np.random.default_rng(seed)
+    region = density.region
+    centre = region.mbr().center
+    radius = (region.mbr().extent / 2.0).max()
+    queries = []
+    for _ in range(n_queries):
+        # Offset the query so the region straddles its boundary.
+        offset = rng.uniform(-1.0, 1.0, size=centre.size) * (radius + _QS / 4.0)
+        queries.append(Rect.from_center(centre + offset, _QS / 2.0))
+    return queries
+
+
+def sample_counts(scale: Scale) -> list[int]:
+    """The n1 sweep (paper: 10^4 ... 10^8)."""
+    if scale.mc_samples >= 1_000_000:
+        return [10_000, 100_000, 1_000_000, 10_000_000]
+    return [1_000, 10_000, 100_000]
+
+
+def run(scale: Scale | None = None, n_queries: int = 12) -> dict:
+    """Run the study; returns per-dimension error/time series."""
+    scale = scale if scale is not None else active_scale()
+    counts = sample_counts(scale)
+    reference_n = counts[-1] * 16
+    results: dict = {"n1": counts, "dims": {}}
+
+    for dim in (2, 3):
+        density = _study_object(dim)
+        queries = _study_queries(density, n_queries)
+        reference = AppearanceEstimator(n_samples=reference_n, seed=999)
+        truth = [reference.estimate(density, q, object_id=0) for q in queries]
+
+        errors = []
+        times = []
+        for n1 in counts:
+            estimator = AppearanceEstimator(n_samples=n1, seed=1234)
+            per_query = []
+            for q, ref in zip(queries, truth):
+                est = estimator.estimate(density, q, object_id=0)
+                if ref > 1e-9:
+                    per_query.append(abs(est - ref) / ref)
+            errors.append(float(np.mean(per_query)))
+            times.append(estimator.elapsed_seconds / max(1, estimator.evaluations))
+        results["dims"][dim] = {"workload_error": errors, "seconds_per_eval": times}
+    return results
+
+
+def main() -> None:
+    results = run()
+    rows = []
+    for dim, series in results["dims"].items():
+        for n1, err, sec in zip(results["n1"], series["workload_error"], series["seconds_per_eval"]):
+            rows.append([f"{dim}D", n1, f"{100 * err:.3f}%", f"{1000 * sec:.3f}"])
+    print("Figure 7: Monte-Carlo cost/accuracy (workload error, msec per evaluation)")
+    print(format_table(["dim", "n1", "workload error", "msec/eval"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Shared experiment runner utilities: workloads, cost model, tables.
+
+The paper reports three cost views per workload (Figs. 9-10): average node
+accesses (I/O), average number of appearance-probability computations with
+the directly-validated percentage (CPU), and total elapsed seconds.  Total
+cost here is ``page_accesses * io_latency + measured CPU seconds`` —
+the simulated-disk equivalent of the paper's wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.query import ProbRangeQuery
+from repro.core.stats import WorkloadStats
+from repro.experiments.config import Scale
+
+__all__ = ["run_workload", "total_cost_seconds", "format_table"]
+
+
+def run_workload(tree, queries: Sequence[ProbRangeQuery]) -> WorkloadStats:
+    """Run every query against ``tree`` (anything with ``.query``)."""
+    stats = WorkloadStats()
+    for query in queries:
+        stats.add(tree.query(query).stats)
+    return stats
+
+
+def total_cost_seconds(stats: WorkloadStats, scale: Scale) -> float:
+    """Average per-query total cost: simulated I/O latency plus CPU time."""
+    return stats.avg_total_io * scale.io_latency_seconds + stats.avg_wall_seconds
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table used by all experiment CLIs."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,44 @@
+"""Run every experiment of Section 6 in sequence.
+
+Usage::
+
+    python -m repro.experiments.run_all            # reduced scale
+    REPRO_FULL_SCALE=1 python -m repro.experiments.run_all
+
+Dataset and index builds are cached across experiments within the run, so
+this is considerably cheaper than running the six modules separately.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11, motivation, table1
+from repro.experiments.config import active_scale
+
+__all__ = ["main"]
+
+_EXPERIMENTS = [
+    ("Motivation", motivation.main),
+    ("Figure 7", fig7.main),
+    ("Figure 8", fig8.main),
+    ("Table 1", table1.main),
+    ("Figure 9", fig9.main),
+    ("Figure 10", fig10.main),
+    ("Figure 11", fig11.main),
+]
+
+
+def main() -> None:
+    scale = active_scale()
+    print(f"== U-tree reproduction: all experiments at scale '{scale.name}' ==\n")
+    total_start = time.perf_counter()
+    for label, runner in _EXPERIMENTS:
+        start = time.perf_counter()
+        runner()
+        print(f"[{label} completed in {time.perf_counter() - start:.1f}s]\n")
+    print(f"== all experiments done in {time.perf_counter() - total_start:.1f}s ==")
+
+
+if __name__ == "__main__":
+    main()

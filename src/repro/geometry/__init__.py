@@ -1,0 +1,5 @@
+"""Hyper-rectangle geometry primitives."""
+
+from repro.geometry.rect import Rect
+
+__all__ = ["Rect"]

@@ -1,0 +1,264 @@
+"""Axis-aligned hyper-rectangles in d-dimensional space.
+
+The whole reproduction is built on top of this module: uncertainty-region
+MBRs, PCRs, CFB evaluations, and every index entry are axis-aligned boxes.
+A :class:`Rect` stores two ``float64`` vectors ``lo`` and ``hi`` with
+``lo <= hi`` component-wise.  All geometric predicates used by the paper
+(area, margin, overlap, centroid distance, containment, the R* penalty
+metrics) live here.
+
+For bulk work the index engine operates on *profiles*: arrays of shape
+``(L, 2, d)`` holding ``L`` stacked rectangles (layer ``j`` is the box at
+the ``j``-th U-catalog value).  The ``profile_*`` functions implement the
+"summed" metrics of Section 5.3 of the paper without constructing Rect
+objects layer by layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Rect",
+    "profile_area",
+    "profile_margin",
+    "profile_overlap",
+    "profile_centroid_distance",
+    "profile_union",
+    "profile_contains_profile",
+]
+
+
+class Rect:
+    """An axis-aligned hyper-rectangle ``[lo_1, hi_1] x ... x [lo_d, hi_d]``.
+
+    Instances are immutable by convention: all operations return new
+    rectangles.  Degenerate rectangles (``lo == hi`` on some axes) are
+    allowed; they arise naturally, e.g. ``pcr(0.5)`` collapses to a point.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Iterable[float], hi: Iterable[float]):
+        lo_arr = np.asarray(lo, dtype=np.float64)
+        hi_arr = np.asarray(hi, dtype=np.float64)
+        if lo_arr.shape != hi_arr.shape or lo_arr.ndim != 1:
+            raise ValueError(
+                f"lo and hi must be 1-D vectors of equal length, "
+                f"got shapes {lo_arr.shape} and {hi_arr.shape}"
+            )
+        if lo_arr.size == 0:
+            raise ValueError("rectangles must have at least one dimension")
+        if np.any(lo_arr > hi_arr):
+            raise ValueError(f"lo must not exceed hi: lo={lo_arr}, hi={hi_arr}")
+        self.lo = lo_arr
+        self.hi = hi_arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Iterable[float]) -> "Rect":
+        """A degenerate rectangle covering a single point."""
+        p = np.asarray(point, dtype=np.float64)
+        return cls(p, p.copy())
+
+    @classmethod
+    def from_center(cls, center: Iterable[float], half_extent: Iterable[float] | float) -> "Rect":
+        """A rectangle centred at ``center`` extending ``half_extent`` per axis."""
+        c = np.asarray(center, dtype=np.float64)
+        h = np.broadcast_to(np.asarray(half_extent, dtype=np.float64), c.shape)
+        if np.any(h < 0):
+            raise ValueError("half_extent must be non-negative")
+        return cls(c - h, c + h)
+
+    @classmethod
+    def bounding(cls, rects: Sequence["Rect"]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty set of rectangles."""
+        if not rects:
+            raise ValueError("cannot bound an empty collection of rectangles")
+        lo = np.min(np.stack([r.lo for r in rects]), axis=0)
+        hi = np.max(np.stack([r.hi for r in rects]), axis=0)
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return self.lo.size
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Per-axis side lengths ``hi - lo``."""
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> np.ndarray:
+        """The centroid of the rectangle."""
+        return (self.lo + self.hi) / 2.0
+
+    def area(self) -> float:
+        """The d-dimensional volume (the paper calls this AREA)."""
+        return float(np.prod(self.extent))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the paper's MARGIN penalty, up to a constant).
+
+        Following the R*-tree literature we use ``sum(extent)``; the true
+        perimeter is ``2^(d-1)`` times this and the constant is irrelevant
+        for all comparisons the algorithms make.
+        """
+        return float(np.sum(self.extent))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the two closed rectangles share at least one point."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def contains(self, other: "Rect") -> bool:
+        """True iff ``other`` lies entirely inside this rectangle."""
+        return bool(np.all(self.lo <= other.lo) and np.all(other.hi <= self.hi))
+
+    def contains_point(self, point: Iterable[float]) -> bool:
+        """True iff ``point`` lies inside this closed rectangle."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.lo <= p) and np.all(p <= self.hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an ``(n, d)`` array of points."""
+        pts = np.asarray(points, dtype=np.float64)
+        return np.all((pts >= self.lo) & (pts <= self.hi), axis=1)
+
+    # ------------------------------------------------------------------
+    # combinations
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """The MBR of this rectangle and ``other``."""
+        return Rect(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return None
+        return Rect(lo, hi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Volume of the intersection (0.0 when disjoint)."""
+        widths = np.minimum(self.hi, other.hi) - np.maximum(self.lo, other.lo)
+        if np.any(widths < 0):
+            return 0.0
+        return float(np.prod(widths))
+
+    def centroid_distance(self, other: "Rect") -> float:
+        """Euclidean distance between the two centroids (the R* CDIST metric)."""
+        return float(np.linalg.norm(self.center - other.center))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (the R-tree insertion penalty)."""
+        return self.union(other).area() - self.area()
+
+    def expanded(self, amount: float) -> "Rect":
+        """A copy grown by ``amount`` on every side (clamped to stay valid)."""
+        lo = self.lo - amount
+        hi = self.hi + amount
+        mid = (lo + hi) / 2.0
+        return Rect(np.minimum(lo, mid), np.maximum(hi, mid))
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        """A ``(2, d)`` array ``[lo, hi]`` (a single profile layer)."""
+        return np.stack([self.lo, self.hi])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+    def approx_equals(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Equality up to absolute tolerance ``tol`` per coordinate."""
+        return bool(
+            np.allclose(self.lo, other.lo, atol=tol) and np.allclose(self.hi, other.hi, atol=tol)
+        )
+
+    def __repr__(self) -> str:
+        lo = ", ".join(f"{v:g}" for v in self.lo)
+        hi = ", ".join(f"{v:g}" for v in self.hi)
+        return f"Rect(lo=[{lo}], hi=[{hi}])"
+
+
+# ----------------------------------------------------------------------
+# Profile operations.
+#
+# A profile is an (L, 2, d) float64 array: L stacked rectangles, where
+# profile[j, 0] is the lo vector and profile[j, 1] the hi vector of the
+# j-th layer.  The U-tree/U-PCR "summed" penalty metrics (Section 5.3)
+# are plain sums of the per-layer classic metrics.
+# ----------------------------------------------------------------------
+
+def _check_profile(profile: np.ndarray) -> np.ndarray:
+    arr = np.asarray(profile, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[1] != 2:
+        raise ValueError(f"profile must have shape (L, 2, d), got {arr.shape}")
+    return arr
+
+
+def profile_area(profile: np.ndarray) -> float:
+    """Summed area over all layers: sum_j AREA(layer_j)."""
+    arr = _check_profile(profile)
+    return float(np.sum(np.prod(arr[:, 1, :] - arr[:, 0, :], axis=1)))
+
+
+def profile_margin(profile: np.ndarray) -> float:
+    """Summed margin over all layers: sum_j MARGIN(layer_j)."""
+    arr = _check_profile(profile)
+    return float(np.sum(arr[:, 1, :] - arr[:, 0, :]))
+
+
+def profile_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """Summed overlap: sum_j OVERLAP(a_j, b_j)."""
+    a_arr = _check_profile(a)
+    b_arr = _check_profile(b)
+    widths = np.minimum(a_arr[:, 1, :], b_arr[:, 1, :]) - np.maximum(a_arr[:, 0, :], b_arr[:, 0, :])
+    widths = np.maximum(widths, 0.0)
+    return float(np.sum(np.prod(widths, axis=1)))
+
+
+def profile_centroid_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Summed centroid distance: sum_j CDIST(a_j, b_j)."""
+    a_arr = _check_profile(a)
+    b_arr = _check_profile(b)
+    ca = (a_arr[:, 0, :] + a_arr[:, 1, :]) / 2.0
+    cb = (b_arr[:, 0, :] + b_arr[:, 1, :]) / 2.0
+    return float(np.sum(np.linalg.norm(ca - cb, axis=1)))
+
+
+def profile_union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Layer-wise MBR of two profiles."""
+    a_arr = _check_profile(a)
+    b_arr = _check_profile(b)
+    out = np.empty_like(a_arr)
+    out[:, 0, :] = np.minimum(a_arr[:, 0, :], b_arr[:, 0, :])
+    out[:, 1, :] = np.maximum(a_arr[:, 1, :], b_arr[:, 1, :])
+    return out
+
+
+def profile_contains_profile(outer: np.ndarray, inner: np.ndarray, tol: float = 1e-9) -> bool:
+    """True iff every layer of ``outer`` contains the matching layer of ``inner``."""
+    o = _check_profile(outer)
+    i = _check_profile(inner)
+    return bool(
+        np.all(o[:, 0, :] <= i[:, 0, :] + tol) and np.all(i[:, 1, :] <= o[:, 1, :] + tol)
+    )

@@ -1,0 +1,17 @@
+"""The multi-layer R* engine and the classic R*-tree."""
+
+from repro.index.bulkload import bulk_load
+from repro.index.engine import RStarEngine
+from repro.index.node import Entry, Node
+from repro.index.rstar import RStarTree
+from repro.index.split import rstar_split, rstar_split_profiles
+
+__all__ = [
+    "Entry",
+    "Node",
+    "RStarEngine",
+    "RStarTree",
+    "bulk_load",
+    "rstar_split",
+    "rstar_split_profiles",
+]

@@ -1,0 +1,143 @@
+"""Sort-tile-recursive (STR) bulk loading for the multi-layer R* engine.
+
+The paper builds its indexes by repeated insertion (that *is* the Fig. 11
+experiment), but any production deployment of an R-tree family offers a
+packing bulk loader: sort entries by the centre of their median-layer
+box, tile the space into vertical slabs, sort each slab on the next axis,
+and cut it into full nodes.  Applied level by level this yields a tree
+with near-100 % node utilisation, far fewer pages, and a build cost of
+one sort per axis instead of one tree descent per object.
+
+``bulk_load`` replaces the contents of an *empty* engine in place, so the
+tree facades (:meth:`repro.core.utree.UTree.bulk_load`) can expose it
+without re-plumbing their constructors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.index.engine import RStarEngine
+from repro.index.node import Entry, Node
+
+__all__ = ["bulk_load"]
+
+
+def bulk_load(
+    engine: RStarEngine,
+    items: Sequence[tuple[np.ndarray, Any]],
+    fill: float = 1.0,
+) -> None:
+    """STR-pack ``items`` (profile, payload pairs) into an empty engine.
+
+    Args:
+        engine: a freshly constructed engine (no prior inserts).
+        items: leaf entries as ``(profile, data)`` pairs.
+        fill: target node utilisation in (0, 1]; 1.0 packs nodes full,
+            lower values leave slack for subsequent inserts.
+    """
+    if len(engine) != 0:
+        raise ValueError("bulk_load requires an empty engine")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    if not items:
+        return
+
+    entries = []
+    for profile, data in items:
+        entry = Entry(np.asarray(profile, dtype=np.float64), data=data)
+        if entry.profile.shape != (engine.layers, 2, engine.dim):
+            raise ValueError(
+                f"profile shape {entry.profile.shape} does not match engine "
+                f"({engine.layers}, 2, {engine.dim})"
+            )
+        entries.append(entry)
+
+    # Free the empty root page; we rebuild the whole node set.
+    engine.store.free(engine.root.page_id)
+
+    level = 0
+    capacity = max(2, int(engine.layout.leaf_capacity * fill))
+    nodes = _pack_level(engine, entries, level, capacity)
+    while len(nodes) > 1:
+        level += 1
+        capacity = max(2, int(engine.layout.inner_capacity * fill))
+        parents = [Entry(engine._summarize(node), child=node) for node in nodes]
+        nodes = _pack_level(engine, parents, level, capacity)
+
+    engine.root = nodes[0]
+    engine._size = len(entries)
+    for page_id in list(engine._dirty):
+        engine.store.touch_write(page_id)
+    engine._dirty = set()
+
+
+def _pack_level(
+    engine: RStarEngine,
+    entries: list[Entry],
+    level: int,
+    capacity: int,
+) -> list[Node]:
+    """One STR pass: tile entries into nodes of at most ``capacity``."""
+    n = len(entries)
+    split_layer = engine.split_layer
+    centres = np.stack(
+        [
+            (e.profile[split_layer, 0, :] + e.profile[split_layer, 1, :]) / 2.0
+            for e in entries
+        ]
+    )
+    d = centres.shape[1]
+    n_nodes = max(1, math.ceil(n / capacity))
+
+    order = _str_order(centres, n_nodes, capacity, axis=0, dims=d)
+    nodes: list[Node] = []
+    for start in range(0, n, capacity):
+        node = Node(level, engine.store.allocate())
+        node.entries = [entries[i] for i in order[start:start + capacity]]
+        engine._dirty.add(node.page_id)
+        nodes.append(node)
+
+    # STR can leave a runt final node below the engine's minimum fill
+    # (which is defined against the FULL node capacity, independent of
+    # the packing fill factor); rebalance by stealing from the
+    # predecessor.
+    if len(nodes) > 1:
+        full_capacity = (
+            engine.layout.leaf_capacity if level == 0 else engine.layout.inner_capacity
+        )
+        min_fill = engine.layout.min_fill(full_capacity)
+        last, prev = nodes[-1], nodes[-2]
+        while len(last.entries) < min_fill and len(prev.entries) > min_fill:
+            last.entries.insert(0, prev.entries.pop())
+    return nodes
+
+
+def _str_order(
+    centres: np.ndarray,
+    n_nodes: int,
+    capacity: int,
+    axis: int,
+    dims: int,
+) -> np.ndarray:
+    """Recursive STR ordering of entry indices."""
+    n = centres.shape[0]
+    order = np.argsort(centres[:, axis], kind="stable")
+    if axis == dims - 1 or n_nodes <= 1:
+        return order
+
+    # Number of slabs along this axis: ceil((#nodes)^(1/remaining dims)).
+    remaining = dims - axis
+    slabs = max(1, math.ceil(n_nodes ** (1.0 / remaining)))
+    slab_size = math.ceil(n / slabs)
+    pieces = []
+    for start in range(0, n, slab_size):
+        chunk = order[start:start + slab_size]
+        sub_nodes = max(1, math.ceil(len(chunk) / capacity))
+        sub_order = _str_order(centres[chunk], sub_nodes, capacity, axis + 1, dims)
+        pieces.append(chunk[sub_order])
+    return np.concatenate(pieces)

@@ -1,0 +1,71 @@
+"""Vectorised summed penalty metrics over stacked profiles.
+
+Section 5.3 of the paper replaces the four R* penalty metrics (area,
+margin, overlap, centroid distance) by their *summed* counterparts over
+all U-catalog values.  These helpers compute them on whole nodes at once:
+``stacked`` arrays have shape ``(n, L, 2, d)`` (n entries, L layers) and a
+single profile has shape ``(L, 2, d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "stacked_union",
+    "summed_areas",
+    "summed_margins",
+    "summed_area_enlargements",
+    "summed_overlap_with_each",
+    "summed_centroid_distances",
+    "union_with",
+]
+
+
+def stacked_union(stacked: np.ndarray) -> np.ndarray:
+    """Layer-wise union over all entries: ``(n, L, 2, d) -> (L, 2, d)``."""
+    out = np.empty(stacked.shape[1:])
+    out[:, 0, :] = stacked[:, :, 0, :].min(axis=0)
+    out[:, 1, :] = stacked[:, :, 1, :].max(axis=0)
+    return out
+
+
+def union_with(stacked: np.ndarray, profile: np.ndarray) -> np.ndarray:
+    """Union of each entry with one profile: ``(n, L, 2, d)`` result."""
+    out = np.empty_like(stacked)
+    out[:, :, 0, :] = np.minimum(stacked[:, :, 0, :], profile[None, :, 0, :])
+    out[:, :, 1, :] = np.maximum(stacked[:, :, 1, :], profile[None, :, 1, :])
+    return out
+
+
+def summed_areas(stacked: np.ndarray) -> np.ndarray:
+    """Per-entry summed area: ``sum_j AREA(layer_j)``, shape ``(n,)``."""
+    extents = stacked[:, :, 1, :] - stacked[:, :, 0, :]
+    return np.prod(extents, axis=2).sum(axis=1)
+
+
+def summed_margins(stacked: np.ndarray) -> np.ndarray:
+    """Per-entry summed margin, shape ``(n,)``."""
+    extents = stacked[:, :, 1, :] - stacked[:, :, 0, :]
+    return extents.sum(axis=(1, 2))
+
+
+def summed_area_enlargements(stacked: np.ndarray, profile: np.ndarray) -> np.ndarray:
+    """How much each entry's summed area grows to absorb ``profile``."""
+    enlarged = union_with(stacked, profile)
+    return summed_areas(enlarged) - summed_areas(stacked)
+
+
+def summed_overlap_with_each(profile: np.ndarray, stacked: np.ndarray) -> np.ndarray:
+    """Summed overlap of one profile against each stacked entry, shape ``(n,)``."""
+    lo = np.maximum(stacked[:, :, 0, :], profile[None, :, 0, :])
+    hi = np.minimum(stacked[:, :, 1, :], profile[None, :, 1, :])
+    widths = np.maximum(hi - lo, 0.0)
+    return np.prod(widths, axis=2).sum(axis=1)
+
+
+def summed_centroid_distances(stacked: np.ndarray, profile: np.ndarray) -> np.ndarray:
+    """Summed centroid distance of each entry to one profile, shape ``(n,)``."""
+    centres = (stacked[:, :, 0, :] + stacked[:, :, 1, :]) / 2.0
+    target = (profile[None, :, 0, :] + profile[None, :, 1, :]) / 2.0
+    return np.linalg.norm(centres - target, axis=2).sum(axis=1)

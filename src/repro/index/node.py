@@ -1,0 +1,78 @@
+"""Nodes and entries of the multi-layer R* engine.
+
+Every index in this library (classic R*-tree, U-tree, U-PCR) is an
+instance of one engine over *profiles*: stacks of ``L`` rectangles, one
+per U-catalog value (``L = 1`` for the precise R*-tree).  An entry pairs a
+profile with either a child node (intermediate levels) or an opaque data
+payload (leaf level).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Entry", "Node"]
+
+
+class Entry:
+    """One slot of a node: a profile plus a child pointer or leaf payload."""
+
+    __slots__ = ("profile", "child", "data")
+
+    def __init__(self, profile: np.ndarray, child: "Node | None" = None, data: Any = None):
+        arr = np.asarray(profile, dtype=np.float64)
+        if arr.ndim != 3 or arr.shape[1] != 2:
+            raise ValueError(f"profile must have shape (L, 2, d), got {arr.shape}")
+        if child is not None and data is not None:
+            raise ValueError("an entry is either intermediate (child) or leaf (data)")
+        self.profile = arr
+        self.child = child
+        self.data = data
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+    def layer(self, j: int) -> np.ndarray:
+        """The ``(2, d)`` rectangle of layer ``j``."""
+        return self.profile[j]
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf_entry else "inner"
+        return f"Entry({kind}, layers={self.profile.shape[0]})"
+
+
+class Node:
+    """A tree node occupying one simulated disk page.
+
+    ``level`` counts from 0 at the leaves; the root is the unique node at
+    the maximum level.
+    """
+
+    __slots__ = ("level", "page_id", "entries")
+
+    def __init__(self, level: int, page_id: int):
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        self.level = level
+        self.page_id = page_id
+        self.entries: list[Entry] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def stacked_profiles(self) -> np.ndarray:
+        """All entry profiles as one ``(n, L, 2, d)`` array."""
+        if not self.entries:
+            raise ValueError("node has no entries to stack")
+        return np.stack([e.profile for e in self.entries])
+
+    def __repr__(self) -> str:
+        return f"Node(level={self.level}, page={self.page_id}, entries={self.size})"

@@ -1,0 +1,172 @@
+"""The R*-tree node-split algorithm over single-layer rectangles.
+
+Section 5.3 of the paper keeps the two-step R* split (choose a split axis
+by minimum total margin, then the distribution with minimum overlap) but,
+to avoid one sort per catalog value, performs it on the rectangles at the
+*median* catalog value only.  The engine therefore hands this module a
+plain ``(n, 2, d)`` rectangle array — whichever layer the tree variant
+wants to split on — and receives back the index partition.
+
+An ``all-layer`` variant (sorting and scoring on summed metrics across
+every layer) is provided for the ablation bench called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rstar_split", "rstar_split_profiles"]
+
+
+def rstar_split(rects: np.ndarray, min_fill: int) -> tuple[np.ndarray, np.ndarray]:
+    """Partition rectangles into two groups with the R* split.
+
+    Args:
+        rects: ``(n, 2, d)`` array of rectangles (one per entry).
+        min_fill: minimum entries per resulting group.
+
+    Returns:
+        ``(group1, group2)`` index arrays covering ``range(n)``.
+    """
+    rects = np.asarray(rects, dtype=np.float64)
+    if rects.ndim != 3 or rects.shape[1] != 2:
+        raise ValueError(f"rects must have shape (n, 2, d), got {rects.shape}")
+    n, _, d = rects.shape
+    if min_fill < 1 or 2 * min_fill > n:
+        raise ValueError(f"cannot split {n} entries with min_fill={min_fill}")
+
+    axis = _choose_split_axis(rects, min_fill)
+    return _choose_split_index(rects, min_fill, axis)
+
+
+def rstar_split_profiles(profiles: np.ndarray, min_fill: int) -> tuple[np.ndarray, np.ndarray]:
+    """All-layer split variant: axis and distribution scored on summed metrics.
+
+    ``profiles`` has shape ``(n, L, 2, d)``.  Sort keys use the layer-wise
+    mean of the face coordinates; margins/overlaps/areas are summed over
+    layers.  This is the "sort at every p_j" alternative the paper rejects
+    as too expensive — implemented for the ablation study.
+    """
+    profiles = np.asarray(profiles, dtype=np.float64)
+    if profiles.ndim != 4 or profiles.shape[2] != 2:
+        raise ValueError(f"profiles must have shape (n, L, 2, d), got {profiles.shape}")
+    n = profiles.shape[0]
+    if min_fill < 1 or 2 * min_fill > n:
+        raise ValueError(f"cannot split {n} entries with min_fill={min_fill}")
+
+    # Collapse layers by averaging the sort keys; score on summed metrics.
+    collapsed = profiles.mean(axis=1)
+    d = collapsed.shape[2]
+    best = None
+    for axis in range(d):
+        for side in (0, 1):
+            order = np.argsort(collapsed[:, side, axis], kind="stable")
+            for k in range(min_fill, n - min_fill + 1):
+                g1, g2 = order[:k], order[k:]
+                u1 = _profile_union(profiles[g1])
+                u2 = _profile_union(profiles[g2])
+                overlap = _summed_overlap(u1, u2)
+                area = _summed_area(u1) + _summed_area(u2)
+                margin = _summed_margin(u1) + _summed_margin(u2)
+                key = (margin, overlap, area)
+                if best is None or key < best[0]:
+                    best = (key, g1.copy(), g2.copy())
+    assert best is not None
+    return best[1], best[2]
+
+
+# ----------------------------------------------------------------------
+# single-layer internals
+# ----------------------------------------------------------------------
+
+def _prefix_suffix_unions(sorted_rects: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative unions from the front and the back.
+
+    Returns ``(prefix, suffix)`` with shapes ``(n, 2, d)`` where
+    ``prefix[k]`` bounds entries ``0..k`` and ``suffix[k]`` bounds
+    ``k..n-1``.
+    """
+    lo = sorted_rects[:, 0, :]
+    hi = sorted_rects[:, 1, :]
+    prefix = np.empty_like(sorted_rects)
+    prefix[:, 0, :] = np.minimum.accumulate(lo, axis=0)
+    prefix[:, 1, :] = np.maximum.accumulate(hi, axis=0)
+    suffix = np.empty_like(sorted_rects)
+    suffix[:, 0, :] = np.minimum.accumulate(lo[::-1], axis=0)[::-1]
+    suffix[:, 1, :] = np.maximum.accumulate(hi[::-1], axis=0)[::-1]
+    return prefix, suffix
+
+
+def _choose_split_axis(rects: np.ndarray, min_fill: int) -> int:
+    """Pick the axis with minimum total margin over all distributions."""
+    n, _, d = rects.shape
+    best_axis = 0
+    best_total = np.inf
+    for axis in range(d):
+        total = 0.0
+        for side in (0, 1):
+            order = np.argsort(rects[:, side, axis], kind="stable")
+            prefix, suffix = _prefix_suffix_unions(rects[order])
+            for k in range(min_fill, n - min_fill + 1):
+                total += _margin(prefix[k - 1]) + _margin(suffix[k])
+        if total < best_total:
+            best_total = total
+            best_axis = axis
+    return best_axis
+
+
+def _choose_split_index(
+    rects: np.ndarray, min_fill: int, axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """On the chosen axis, pick the distribution with least overlap (ties: area)."""
+    n = rects.shape[0]
+    best_key = None
+    best_split: tuple[np.ndarray, np.ndarray] | None = None
+    for side in (0, 1):
+        order = np.argsort(rects[:, side, axis], kind="stable")
+        prefix, suffix = _prefix_suffix_unions(rects[order])
+        for k in range(min_fill, n - min_fill + 1):
+            r1 = prefix[k - 1]
+            r2 = suffix[k]
+            key = (_overlap(r1, r2), _area(r1) + _area(r2))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_split = (order[:k].copy(), order[k:].copy())
+    assert best_split is not None
+    return best_split
+
+
+def _margin(rect: np.ndarray) -> float:
+    return float(np.sum(rect[1] - rect[0]))
+
+
+def _area(rect: np.ndarray) -> float:
+    return float(np.prod(rect[1] - rect[0]))
+
+
+def _overlap(a: np.ndarray, b: np.ndarray) -> float:
+    widths = np.minimum(a[1], b[1]) - np.maximum(a[0], b[0])
+    if np.any(widths < 0):
+        return 0.0
+    return float(np.prod(widths))
+
+
+def _profile_union(profiles: np.ndarray) -> np.ndarray:
+    out = np.empty(profiles.shape[1:])
+    out[:, 0, :] = profiles[:, :, 0, :].min(axis=0)
+    out[:, 1, :] = profiles[:, :, 1, :].max(axis=0)
+    return out
+
+
+def _summed_area(profile: np.ndarray) -> float:
+    return float(np.prod(profile[:, 1, :] - profile[:, 0, :], axis=1).sum())
+
+
+def _summed_margin(profile: np.ndarray) -> float:
+    return float((profile[:, 1, :] - profile[:, 0, :]).sum())
+
+
+def _summed_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    widths = np.minimum(a[:, 1, :], b[:, 1, :]) - np.maximum(a[:, 0, :], b[:, 0, :])
+    widths = np.maximum(widths, 0.0)
+    return float(np.prod(widths, axis=1).sum())

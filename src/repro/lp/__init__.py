@@ -1,0 +1,5 @@
+"""Self-contained linear programming (two-phase simplex)."""
+
+from repro.lp.simplex import LPResult, LPStatus, SimplexError, solve_lp
+
+__all__ = ["LPResult", "LPStatus", "SimplexError", "solve_lp"]

@@ -1,0 +1,378 @@
+"""A dense two-phase simplex linear-programming solver.
+
+Section 4.4 of the paper fits conservative functional boxes by solving a
+small linear program per dimension side and names the Simplex method as its
+solver.  This module implements a self-contained tableau simplex so that
+the library has no runtime dependency on an external LP package (scipy is
+used only in the test-suite, as an oracle).
+
+The solver handles the general form::
+
+    minimise    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb_i <= x_i <= ub_i   (either bound may be infinite)
+
+Internally the problem is normalised to standard form (non-negative
+variables, equality constraints) via variable shifting/splitting and slack
+variables, then solved with Dantzig pricing and a Bland's-rule fallback
+that guarantees termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LPStatus", "LPResult", "solve_lp", "SimplexError"]
+
+_EPS = 1e-9
+_MAX_ITER_FACTOR = 200
+
+
+class SimplexError(RuntimeError):
+    """Raised when the solver cannot make progress (numerical breakdown)."""
+
+
+class LPStatus:
+    """Symbolic result statuses for :func:`solve_lp`."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an LP solve.
+
+    Attributes:
+        status: one of :class:`LPStatus` values.
+        x: optimal variable assignment (original variable space), or None.
+        objective: optimal objective value (original sense), or None.
+        iterations: simplex pivots performed across both phases.
+    """
+
+    status: str
+    x: np.ndarray | None
+    objective: float | None
+    iterations: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == LPStatus.OPTIMAL
+
+
+def solve_lp(
+    c,
+    a_ub=None,
+    b_ub=None,
+    a_eq=None,
+    b_eq=None,
+    bounds=None,
+    maximize: bool = False,
+) -> LPResult:
+    """Solve a linear program with the two-phase simplex method.
+
+    Args:
+        c: objective coefficient vector of length n.
+        a_ub, b_ub: inequality system ``a_ub @ x <= b_ub`` (may be None).
+        a_eq, b_eq: equality system ``a_eq @ x == b_eq`` (may be None).
+        bounds: per-variable ``(lo, hi)`` pairs; ``None`` entries mean
+            unbounded on that side.  Defaults to ``(0, None)`` for every
+            variable, matching the classic LP convention.
+        maximize: if True, maximise instead of minimise.
+
+    Returns:
+        An :class:`LPResult`; ``x`` and ``objective`` are populated only
+        when the status is optimal.
+    """
+    c = np.atleast_1d(np.asarray(c, dtype=np.float64))
+    n = c.size
+    if maximize:
+        c = -c
+
+    a_ub_m, b_ub_m = _as_system(a_ub, b_ub, n, "a_ub")
+    a_eq_m, b_eq_m = _as_system(a_eq, b_eq, n, "a_eq")
+    bound_pairs = _normalise_bounds(bounds, n)
+
+    # --- normalise variables: x_i = lo_i + y_i (y >= 0), free x split ----
+    # mapping: each original variable contributes one or two standard vars.
+    pos_idx = np.full(n, -1, dtype=int)   # index of the positive part
+    neg_idx = np.full(n, -1, dtype=int)   # index of the negative part (free vars)
+    shift = np.zeros(n)
+    extra_ub_rows = []                    # upper bounds become explicit rows
+
+    n_std = 0
+    for i, (lo, hi) in enumerate(bound_pairs):
+        if lo is None and hi is None:
+            pos_idx[i] = n_std
+            neg_idx[i] = n_std + 1
+            n_std += 2
+        elif lo is None:
+            # x <= hi only: substitute x = hi - y, y >= 0.
+            pos_idx[i] = n_std
+            neg_idx[i] = -2               # marker: negated variable
+            shift[i] = hi
+            n_std += 1
+        else:
+            pos_idx[i] = n_std
+            shift[i] = lo
+            n_std += 1
+            if hi is not None:
+                if hi < lo - _EPS:
+                    return LPResult(LPStatus.INFEASIBLE, None, None, 0)
+                extra_ub_rows.append((i, hi - lo))
+
+    def to_std_row(row: np.ndarray) -> np.ndarray:
+        out = np.zeros(n_std)
+        for i in range(n):
+            coeff = row[i]
+            if coeff == 0.0:
+                continue
+            if neg_idx[i] == -2:
+                out[pos_idx[i]] -= coeff
+            else:
+                out[pos_idx[i]] += coeff
+                if neg_idx[i] >= 0:
+                    out[neg_idx[i]] -= coeff
+        return out
+
+    def shift_offset(row: np.ndarray) -> float:
+        return float(row @ shift)
+
+    rows_ub = []
+    rhs_ub = []
+    for k in range(a_ub_m.shape[0]):
+        rows_ub.append(to_std_row(a_ub_m[k]))
+        rhs_ub.append(b_ub_m[k] - shift_offset(a_ub_m[k]))
+    for i, cap in extra_ub_rows:
+        unit = np.zeros(n)
+        unit[i] = 1.0
+        std = to_std_row(unit)
+        rows_ub.append(std)
+        rhs_ub.append(cap)
+
+    rows_eq = []
+    rhs_eq = []
+    for k in range(a_eq_m.shape[0]):
+        rows_eq.append(to_std_row(a_eq_m[k]))
+        rhs_eq.append(b_eq_m[k] - shift_offset(a_eq_m[k]))
+
+    c_std = to_std_row(c)
+    obj_shift = float(c @ shift)
+
+    status, y, iterations = _solve_standard(
+        c_std,
+        np.array(rows_ub).reshape(len(rows_ub), n_std),
+        np.array(rhs_ub, dtype=np.float64),
+        np.array(rows_eq).reshape(len(rows_eq), n_std),
+        np.array(rhs_eq, dtype=np.float64),
+    )
+    if status != LPStatus.OPTIMAL:
+        return LPResult(status, None, None, iterations)
+
+    x = np.empty(n)
+    for i in range(n):
+        if neg_idx[i] == -2:
+            x[i] = shift[i] - y[pos_idx[i]]
+        elif neg_idx[i] >= 0:
+            x[i] = y[pos_idx[i]] - y[neg_idx[i]]
+        else:
+            x[i] = shift[i] + y[pos_idx[i]]
+
+    objective = float(c_std @ y) + obj_shift
+    if maximize:
+        objective = -objective
+    return LPResult(LPStatus.OPTIMAL, x, objective, iterations)
+
+
+def _as_system(a, b, n: int, name: str) -> tuple[np.ndarray, np.ndarray]:
+    if a is None or b is None or (hasattr(a, "__len__") and len(a) == 0):
+        return np.zeros((0, n)), np.zeros(0)
+    a_m = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b_m = np.atleast_1d(np.asarray(b, dtype=np.float64))
+    if a_m.shape != (b_m.size, n):
+        raise ValueError(f"{name} has shape {a_m.shape}, expected ({b_m.size}, {n})")
+    return a_m, b_m
+
+
+def _normalise_bounds(bounds, n: int) -> list[tuple[float | None, float | None]]:
+    if bounds is None:
+        return [(0.0, None)] * n
+    pairs = list(bounds)
+    if len(pairs) != n:
+        raise ValueError(f"expected {n} bound pairs, got {len(pairs)}")
+    out = []
+    for lo, hi in pairs:
+        lo_f = None if lo is None or lo == -np.inf else float(lo)
+        hi_f = None if hi is None or hi == np.inf else float(hi)
+        if lo_f is not None and hi_f is not None and lo_f > hi_f:
+            raise ValueError(f"bound ({lo_f}, {hi_f}) is empty")
+        out.append((lo_f, hi_f))
+    return out
+
+
+def _solve_standard(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+) -> tuple[str, np.ndarray | None, int]:
+    """Solve min c.y, a_ub y <= b_ub, a_eq y == b_eq, y >= 0."""
+    n = c.size
+    n_ub = a_ub.shape[0]
+    n_eq = a_eq.shape[0]
+    m = n_ub + n_eq
+
+    # Build equality system with slacks: [A_ub | I] y_s = b_ub ; A_eq y = b_eq.
+    a = np.zeros((m, n + n_ub))
+    b = np.concatenate([b_ub, b_eq])
+    if n_ub:
+        a[:n_ub, :n] = a_ub
+        a[:n_ub, n:] = np.eye(n_ub)
+    if n_eq:
+        a[n_ub:, :n] = a_eq
+
+    # Flip rows so b >= 0.
+    for r in range(m):
+        if b[r] < 0:
+            a[r] *= -1.0
+            b[r] *= -1.0
+
+    n_total = n + n_ub
+    # Rows whose slack has coefficient +1 can use it as the initial basis.
+    basis = np.full(m, -1, dtype=int)
+    needs_artificial = []
+    for r in range(m):
+        if r < n_ub and a[r, n + r] == 1.0:
+            basis[r] = n + r
+        else:
+            needs_artificial.append(r)
+
+    iterations = 0
+    if needs_artificial:
+        # Phase 1: add artificials for uncovered rows, minimise their sum.
+        n_art = len(needs_artificial)
+        a1 = np.zeros((m, n_total + n_art))
+        a1[:, :n_total] = a
+        for k, r in enumerate(needs_artificial):
+            a1[r, n_total + k] = 1.0
+            basis[r] = n_total + k
+        c1 = np.zeros(n_total + n_art)
+        c1[n_total:] = 1.0
+        status, it = _simplex_core(a1, b, c1, basis)
+        iterations += it
+        if status != LPStatus.OPTIMAL:
+            return LPStatus.INFEASIBLE, None, iterations
+        phase1_obj = float(c1[basis] @ b)
+        if phase1_obj > 1e-7:
+            return LPStatus.INFEASIBLE, None, iterations
+        # Drive any artificial variables out of the basis; rows whose
+        # artificial cannot leave are redundant (all-zero) and are dropped.
+        redundant = []
+        for r in range(m):
+            if basis[r] >= n_total:
+                pivot_col = -1
+                for j in range(n_total):
+                    if abs(a1[r, j]) > _EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(a1, b, r, pivot_col)
+                    basis[r] = pivot_col
+                else:
+                    redundant.append(r)
+        if redundant:
+            keep = [r for r in range(m) if r not in set(redundant)]
+            a1 = a1[keep]
+            b = b[keep]
+            basis = basis[keep]
+            m = len(keep)
+        a = a1[:, :n_total]
+
+    c_ext = np.zeros(n_total)
+    c_ext[:n] = c
+    status, it = _simplex_core(a, b, c_ext, basis)
+    iterations += it
+    if status != LPStatus.OPTIMAL:
+        return status, None, iterations
+
+    y = np.zeros(n_total)
+    for r in range(m):
+        if 0 <= basis[r] < n_total:
+            y[basis[r]] = b[r]
+    return LPStatus.OPTIMAL, y[:n], iterations
+
+
+def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:
+    """In-place Gauss-Jordan pivot on (row, col)."""
+    piv = a[row, col]
+    a[row] /= piv
+    b[row] /= piv
+    for r in range(a.shape[0]):
+        if r != row and abs(a[r, col]) > 0.0:
+            factor = a[r, col]
+            a[r] -= factor * a[row]
+            b[r] -= factor * b[row]
+
+
+def _simplex_core(a: np.ndarray, b: np.ndarray, c: np.ndarray, basis: np.ndarray) -> tuple[str, int]:
+    """Run primal simplex on a system already in basic feasible form.
+
+    ``a``, ``b`` and ``basis`` are modified in place; on return with
+    OPTIMAL, ``basis[r]`` names the basic variable of row ``r`` whose value
+    is ``b[r]``.
+    """
+    m, n_total = a.shape
+    max_iter = _MAX_ITER_FACTOR * max(m + n_total, 16)
+    bland_after = max_iter // 2
+    iterations = 0
+
+    while True:
+        iterations += 1
+        if iterations > max_iter:
+            raise SimplexError("simplex did not terminate (cycling or ill-conditioning)")
+
+        # Reduced costs: c_j - c_B . B^-1 A_j, with tableau already reduced.
+        duals = c[basis]
+        reduced = c - duals @ a
+
+        if iterations > bland_after:
+            # Bland's rule: smallest-index entering variable.
+            entering = -1
+            for j in range(n_total):
+                if reduced[j] < -_EPS:
+                    entering = j
+                    break
+        else:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -_EPS:
+                entering = -1
+
+        if entering < 0:
+            return LPStatus.OPTIMAL, iterations
+
+        if m == 0:
+            # No constraints at all: an improving direction is unbounded.
+            return LPStatus.UNBOUNDED, iterations
+
+        col = a[:, entering]
+        ratios = np.full(m, np.inf)
+        positive = col > _EPS
+        ratios[positive] = b[positive] / col[positive]
+        leaving = int(np.argmin(ratios))
+        if not np.isfinite(ratios[leaving]):
+            return LPStatus.UNBOUNDED, iterations
+        if iterations > bland_after:
+            # Tie-break by smallest basis index (Bland).
+            best = ratios[leaving]
+            for r in range(m):
+                if positive[r] and abs(ratios[r] - best) <= _EPS * (1 + abs(best)):
+                    if basis[r] < basis[leaving]:
+                        leaving = r
+
+        _pivot(a, b, leaving, entering)
+        basis[leaving] = entering

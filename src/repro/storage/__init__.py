@@ -1,0 +1,22 @@
+"""Simulated paged storage: I/O counting, data files, entry layouts."""
+
+from repro.storage.layout import NodeLayout, rstar_layout, upcr_layout, utree_layout
+from repro.storage.pager import DEFAULT_PAGE_SIZE, DataFile, DiskAddress, IOCounter, PageStore
+
+# NOTE: repro.storage.serialize is intentionally NOT imported here — it
+# depends on repro.core (which itself imports repro.storage.pager) and an
+# eager import would create a cycle.  Import it directly:
+#   from repro.storage.serialize import save_utree, load_utree
+# or use the re-exports on the top-level repro package.
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DataFile",
+    "DiskAddress",
+    "IOCounter",
+    "NodeLayout",
+    "PageStore",
+    "rstar_layout",
+    "upcr_layout",
+    "utree_layout",
+]

@@ -1,0 +1,101 @@
+"""Entry byte layouts and node fanout for every index variant.
+
+The paper's Table 1 and I/O results are driven entirely by how many
+entries fit in one 4096-byte page.  This module is the single source of
+truth for entry sizes:
+
+* **U-tree** (Section 5.1) — a leaf entry stores two CFBs (``8d`` floats,
+  the "16 (24) values in 2D (3D)" of Section 6.3), the MBR of the
+  uncertainty region (``2d`` floats) and a disk address; an intermediate
+  entry stores the two rectangles ``MBR⊥`` and ``MBR`` (``4d`` floats) and
+  a child pointer.
+* **U-PCR** — entries store ``m`` PCR rectangles (``2dm`` floats, the
+  "36 (60) values" at the tuned m = 9 / 10), plus MBR and address at leaf
+  level or a child pointer at intermediate levels.
+* **R\\*-tree** (precise baseline) — plain MBR + pointer entries.
+
+Sizes assume 8-byte floats and 4-byte pointers/addresses, matching the
+hardware the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FLOAT_SIZE",
+    "POINTER_SIZE",
+    "NodeLayout",
+    "utree_layout",
+    "upcr_layout",
+    "rstar_layout",
+]
+
+FLOAT_SIZE = 8
+POINTER_SIZE = 4
+
+
+@dataclass(frozen=True)
+class NodeLayout:
+    """Byte-level layout of one tree family's nodes.
+
+    Attributes:
+        leaf_entry_bytes: size of one leaf entry.
+        inner_entry_bytes: size of one intermediate entry.
+        page_size: node page size in bytes.
+    """
+
+    leaf_entry_bytes: int
+    inner_entry_bytes: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if self.leaf_entry_bytes <= 0 or self.inner_entry_bytes <= 0:
+            raise ValueError("entry sizes must be positive")
+        if self.page_size <= 0:
+            raise ValueError("page size must be positive")
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum number of entries in a leaf node (>= 2)."""
+        return max(2, self.page_size // self.leaf_entry_bytes)
+
+    @property
+    def inner_capacity(self) -> int:
+        """Maximum number of entries in an intermediate node (>= 2)."""
+        return max(2, self.page_size // self.inner_entry_bytes)
+
+    def min_fill(self, capacity: int, fraction: float = 0.4) -> int:
+        """R*-tree minimum occupancy (40 % of capacity, at least 1)."""
+        return max(1, int(capacity * fraction))
+
+
+def utree_layout(dim: int, page_size: int = 4096) -> NodeLayout:
+    """Layout of a U-tree (entry sizes are independent of catalog size m)."""
+    _check_dim(dim)
+    leaf = 8 * dim * FLOAT_SIZE + 2 * dim * FLOAT_SIZE + POINTER_SIZE
+    inner = 4 * dim * FLOAT_SIZE + POINTER_SIZE
+    return NodeLayout(leaf, inner, page_size)
+
+
+def upcr_layout(dim: int, catalog_size: int, page_size: int = 4096) -> NodeLayout:
+    """Layout of a U-PCR tree storing ``catalog_size`` PCRs per entry."""
+    _check_dim(dim)
+    if catalog_size < 1:
+        raise ValueError("catalog_size must be at least 1")
+    pcr_bytes = 2 * dim * catalog_size * FLOAT_SIZE
+    leaf = pcr_bytes + 2 * dim * FLOAT_SIZE + POINTER_SIZE
+    inner = pcr_bytes + POINTER_SIZE
+    return NodeLayout(leaf, inner, page_size)
+
+
+def rstar_layout(dim: int, page_size: int = 4096) -> NodeLayout:
+    """Layout of a classic R*-tree over precise rectangles."""
+    _check_dim(dim)
+    entry = 2 * dim * FLOAT_SIZE + POINTER_SIZE
+    return NodeLayout(entry, entry, page_size)
+
+
+def _check_dim(dim: int) -> None:
+    if dim < 1:
+        raise ValueError("dimensionality must be at least 1")

@@ -1,0 +1,240 @@
+"""Persistence for built U-trees.
+
+A production index survives process restarts.  This module serialises a
+U-tree to a single ``.npz`` archive holding, per object: the id, the
+uncertainty-region/pdf *descriptor* (a JSON document naming one of the
+library's pdf families and its parameters), the fitted CFB coefficients
+and the region MBR.  Loading reconstructs the objects, re-packs the tree
+deterministically with the STR bulk loader, and re-attaches the fitted
+summaries — so a loaded tree answers every query identically to the one
+that was saved (the page layout may differ from the original insert
+order, which only affects I/O counts, not answers).
+
+Only the built-in pdf families round-trip (uniform, constrained Gaussian,
+histogram — including Zipf/Poisson/tabulated, which *are* histograms —
+radial exponential, and mixtures thereof).  Custom :class:`Density`
+subclasses raise a clear error; tabulate them first.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.cfb import LinearBoxFunction
+from repro.core.pruning import CFBRules
+from repro.core.utree import UTree, UTreeLeafRecord
+from repro.geometry.rect import Rect
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    Density,
+    HistogramDensity,
+    MixtureDensity,
+    RadialExponentialDensity,
+    UniformDensity,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion, UncertaintyRegion
+
+__all__ = [
+    "density_descriptor",
+    "density_from_descriptor",
+    "save_utree",
+    "load_utree",
+]
+
+
+class SerializationError(ValueError):
+    """Raised for objects that cannot be round-tripped."""
+
+
+# ----------------------------------------------------------------------
+# region / density descriptors
+# ----------------------------------------------------------------------
+
+def _region_descriptor(region: UncertaintyRegion) -> dict[str, Any]:
+    if isinstance(region, BallRegion):
+        return {"kind": "ball", "center": region.center.tolist(), "radius": region.radius}
+    if isinstance(region, BoxRegion):
+        return {"kind": "box", "lo": region.rect.lo.tolist(), "hi": region.rect.hi.tolist()}
+    raise SerializationError(f"unsupported region type {type(region).__name__}")
+
+
+def _region_from_descriptor(doc: dict[str, Any]) -> UncertaintyRegion:
+    kind = doc.get("kind")
+    if kind == "ball":
+        return BallRegion(doc["center"], doc["radius"])
+    if kind == "box":
+        return BoxRegion(Rect(doc["lo"], doc["hi"]))
+    raise SerializationError(f"unknown region kind {kind!r}")
+
+
+def density_descriptor(density: Density) -> dict[str, Any]:
+    """A JSON-serialisable document reconstructing ``density``."""
+    common = {
+        "region": _region_descriptor(density.region),
+        "marginal_seed": density._marginal_seed,
+        "marginal_samples": density._marginal_samples,
+    }
+    if isinstance(density, UniformDensity):
+        return {"kind": "uniform", **common}
+    if isinstance(density, ConstrainedGaussianDensity):
+        return {
+            "kind": "congau",
+            "sigma": density.sigma,
+            "mean": density.mean.tolist(),
+            **common,
+        }
+    if isinstance(density, HistogramDensity):
+        return {"kind": "histogram", "weights": density.weights.tolist(), **common}
+    if isinstance(density, RadialExponentialDensity):
+        return {
+            "kind": "radial-exponential",
+            "scale": density.scale,
+            "mode": density.mode.tolist(),
+            **common,
+        }
+    if isinstance(density, MixtureDensity):
+        return {
+            "kind": "mixture",
+            "weights": density.weights.tolist(),
+            "components": [density_descriptor(c) for c in density.components],
+            **common,
+        }
+    raise SerializationError(
+        f"cannot serialise pdf type {type(density).__name__}; "
+        "tabulate custom densities with tabulate_density() first"
+    )
+
+
+def density_from_descriptor(doc: dict[str, Any]) -> Density:
+    """Inverse of :func:`density_descriptor`."""
+    kind = doc.get("kind")
+    if kind not in ("uniform", "congau", "histogram", "radial-exponential", "mixture"):
+        raise SerializationError(f"unknown density kind {kind!r}")
+    kwargs = {
+        "marginal_seed": doc.get("marginal_seed", 0),
+        "marginal_samples": doc.get("marginal_samples", 16384),
+    }
+    region = _region_from_descriptor(doc["region"])
+    if kind == "uniform":
+        return UniformDensity(region, **kwargs)
+    if kind == "congau":
+        return ConstrainedGaussianDensity(
+            region, sigma=doc["sigma"], mean=doc["mean"], **kwargs
+        )
+    if kind == "histogram":
+        if not isinstance(region, BoxRegion):
+            raise SerializationError("histogram densities need a box region")
+        return HistogramDensity(region, np.asarray(doc["weights"]), **kwargs)
+    if kind == "radial-exponential":
+        return RadialExponentialDensity(
+            region, scale=doc["scale"], mode=doc["mode"], **kwargs
+        )
+    if kind == "mixture":
+        components = []
+        for comp_doc in doc["components"]:
+            comp = density_from_descriptor(comp_doc)
+            comp.region = region  # mixtures require one shared region object
+            components.append(comp)
+        return MixtureDensity(components, weights=doc["weights"], **kwargs)
+    raise SerializationError(f"unknown density kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# tree save / load
+# ----------------------------------------------------------------------
+
+_FORMAT_VERSION = 1
+
+
+def save_utree(tree: UTree, path) -> None:
+    """Write a built U-tree to ``path`` (a ``.npz`` archive)."""
+    records: list[UTreeLeafRecord] = [e.data for e in tree.engine.leaf_entries()]
+    records.sort(key=lambda r: r.oid)
+    n = len(records)
+    d = tree.dim
+
+    oids = np.array([r.oid for r in records], dtype=np.int64)
+    mbrs = np.zeros((n, 2, d))
+    outer = np.zeros((n, 2, 2, d))  # [obj, intercept|slope, lo|hi, axis]
+    inner = np.zeros((n, 2, 2, d))
+    descriptors = []
+    for i, record in enumerate(records):
+        mbrs[i, 0] = record.mbr.lo
+        mbrs[i, 1] = record.mbr.hi
+        outer[i, 0] = record.outer.intercept
+        outer[i, 1] = record.outer.slope
+        inner[i, 0] = record.inner.intercept
+        inner[i, 1] = record.inner.slope
+        obj = _object_for(tree, record)
+        descriptors.append(json.dumps(density_descriptor(obj.pdf)))
+
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        dim=np.int64(d),
+        page_size=np.int64(tree.engine.layout.page_size),
+        catalog=tree.catalog.values,
+        oids=oids,
+        mbrs=mbrs,
+        outer=outer,
+        inner=inner,
+        descriptors=np.array(descriptors, dtype=object),
+    )
+
+
+def _object_for(tree: UTree, record: UTreeLeafRecord) -> UncertainObject:
+    payloads = tree.data_file._pages[record.address.page_id].payloads
+    obj = payloads[record.address.slot]
+    if not isinstance(obj, UncertainObject):  # pragma: no cover - internal
+        raise SerializationError("data file does not hold UncertainObject payloads")
+    return obj
+
+
+def load_utree(path, estimator=None) -> UTree:
+    """Reconstruct a U-tree saved with :func:`save_utree`.
+
+    The fitted CFBs are restored verbatim (no re-fitting); the node
+    layout is rebuilt deterministically by STR packing.
+    """
+    from repro.core.catalog import UCatalog
+    from repro.index.bulkload import bulk_load
+
+    with np.load(path, allow_pickle=True) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise SerializationError(f"unsupported archive version {version}")
+        dim = int(archive["dim"])
+        page_size = int(archive["page_size"])
+        catalog = UCatalog(archive["catalog"])
+        oids = archive["oids"]
+        mbrs = archive["mbrs"]
+        outer = archive["outer"]
+        inner = archive["inner"]
+        descriptors = archive["descriptors"]
+
+    kwargs = {} if estimator is None else {"estimator": estimator}
+    tree = UTree(dim, catalog, page_size=page_size, **kwargs)
+    items = []
+    for i, oid in enumerate(oids):
+        pdf = density_from_descriptor(json.loads(descriptors[i]))
+        obj = UncertainObject(int(oid), pdf)
+        outer_fn = LinearBoxFunction(outer[i, 0].copy(), outer[i, 1].copy())
+        inner_fn = LinearBoxFunction(inner[i, 0].copy(), inner[i, 1].copy())
+        address = tree.data_file.append(obj, obj.detail_size_bytes())
+        record = UTreeLeafRecord(
+            oid=int(oid),
+            mbr=Rect(mbrs[i, 0], mbrs[i, 1]),
+            outer=outer_fn,
+            inner=inner_fn,
+            address=address,
+            rules=CFBRules(catalog, outer_fn, inner_fn),
+        )
+        profile = outer_fn.profile(catalog)
+        items.append((profile, record))
+        tree._profiles[int(oid)] = profile
+    bulk_load(tree.engine, items)
+    return tree

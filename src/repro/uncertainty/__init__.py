@@ -1,0 +1,45 @@
+"""Uncertain-data substrate: regions, pdfs, Monte-Carlo, marginals."""
+
+from repro.uncertainty.marginals import (
+    FunctionMarginals,
+    GridMarginals,
+    MarginalModel,
+    SampleMarginals,
+)
+from repro.uncertainty.montecarlo import AppearanceEstimator, estimate_appearance_probability
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    Density,
+    HistogramDensity,
+    MixtureDensity,
+    RadialExponentialDensity,
+    UniformDensity,
+    poisson_histogram,
+    tabulate_density,
+    zipf_histogram,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion, UncertaintyRegion, unit_ball_volume
+
+__all__ = [
+    "AppearanceEstimator",
+    "BallRegion",
+    "BoxRegion",
+    "ConstrainedGaussianDensity",
+    "Density",
+    "FunctionMarginals",
+    "GridMarginals",
+    "HistogramDensity",
+    "MarginalModel",
+    "MixtureDensity",
+    "RadialExponentialDensity",
+    "SampleMarginals",
+    "UncertainObject",
+    "UncertaintyRegion",
+    "UniformDensity",
+    "estimate_appearance_probability",
+    "poisson_histogram",
+    "tabulate_density",
+    "unit_ball_volume",
+    "zipf_histogram",
+]

@@ -1,0 +1,106 @@
+"""Tests for the U-catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+
+
+class TestConstruction:
+    def test_basic(self):
+        cat = UCatalog([0.0, 0.25, 0.5])
+        assert cat.size == 3
+        assert cat.p_min == 0.0
+        assert cat.p_max == 0.5
+        assert cat.total == pytest.approx(0.75)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            UCatalog([0.0, 0.6])
+        with pytest.raises(ValueError):
+            UCatalog([-0.1, 0.25])
+
+    def test_rejects_unsorted_or_duplicates(self):
+        with pytest.raises(ValueError):
+            UCatalog([0.25, 0.1])
+        with pytest.raises(ValueError):
+            UCatalog([0.1, 0.1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UCatalog([])
+
+    def test_immutable_values(self):
+        cat = UCatalog([0.0, 0.5])
+        with pytest.raises(ValueError):
+            cat.values[0] = 0.3
+
+    def test_evenly_spaced(self):
+        cat = UCatalog.evenly_spaced(6)
+        assert cat.size == 6
+        assert np.allclose(np.diff(cat.values), 0.1)
+        with pytest.raises(ValueError):
+            UCatalog.evenly_spaced(1)
+
+    def test_paper_defaults(self):
+        ut = UCatalog.paper_utree_default()
+        assert ut.size == 15
+        assert ut[1] == pytest.approx(1 / 28)
+        assert ut.p_max == pytest.approx(0.5)
+        assert UCatalog.paper_upcr_default(2).size == 9
+        assert UCatalog.paper_upcr_default(3).size == 10
+
+    def test_container_protocol(self):
+        cat = UCatalog([0.0, 0.2, 0.5])
+        assert len(cat) == 3
+        assert list(cat) == [0.0, 0.2, 0.5]
+        assert cat[1] == 0.2
+
+    def test_equality_and_hash(self):
+        a = UCatalog([0.0, 0.5])
+        b = UCatalog([0.0, 0.5])
+        c = UCatalog([0.0, 0.4])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_median_index(self):
+        assert UCatalog.evenly_spaced(9).median_index == 4
+        assert UCatalog.evenly_spaced(10).median_index == 5
+
+
+class TestSelection:
+    def setup_method(self):
+        self.cat = UCatalog([0.0, 0.1, 0.25, 0.4, 0.5])
+
+    def test_largest_at_most(self):
+        assert self.cat.largest_at_most(0.3) == 0.25
+        assert self.cat.largest_at_most(0.25) == 0.25
+        assert self.cat.largest_at_most(0.05) == 0.0
+        assert self.cat.largest_at_most(0.9) == 0.5
+
+    def test_largest_at_most_none(self):
+        assert UCatalog([0.1, 0.2]).largest_at_most(0.05) is None
+
+    def test_smallest_at_least(self):
+        assert self.cat.smallest_at_least(0.3) == 0.4
+        assert self.cat.smallest_at_least(0.4) == 0.4
+        assert self.cat.smallest_at_least(0.0) == 0.0
+
+    def test_smallest_at_least_none(self):
+        assert self.cat.smallest_at_least(0.6) is None
+
+    def test_index_variants_agree(self):
+        for p in (0.0, 0.07, 0.25, 0.33, 0.5):
+            idx = self.cat.index_of_largest_at_most(p)
+            assert self.cat.largest_at_most(p) == (None if idx is None else self.cat[idx])
+            idx = self.cat.index_of_smallest_at_least(p)
+            assert self.cat.smallest_at_least(p) == (None if idx is None else self.cat[idx])
+
+    def test_paper_example_selection(self):
+        """Figure 4's walk-through: catalog {0.1, 0.25, 0.4}, pq1 = 0.8 picks
+        0.25 (smallest >= 1 - 0.8); pq2 = 0.7 picks 0.25 (largest <= 0.3)."""
+        cat = UCatalog([0.1, 0.25, 0.4])
+        assert cat.smallest_at_least(1 - 0.8) == 0.25
+        assert cat.largest_at_most(1 - 0.7) == 0.25

@@ -1,0 +1,181 @@
+"""Tests for conservative functional boxes (Sections 4.3-4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catalog import UCatalog
+from repro.core.cfb import (
+    LinearBoxFunction,
+    area_proxy_weights,
+    fit_cfbs,
+    fit_inner_cfb,
+    fit_outer_cfb,
+)
+from repro.core.pcr import compute_pcrs
+from tests.conftest import (
+    make_congau_ball_object,
+    make_histogram_box_object,
+    make_uniform_ball_object,
+)
+
+TOL = 1e-6
+
+
+def make_object(seed: int, centre=None):
+    rng = np.random.default_rng(seed)
+    centre = centre if centre is not None else rng.uniform(0, 5000, 2)
+    kind = seed % 3
+    if kind == 0:
+        return make_uniform_ball_object(seed, centre)
+    if kind == 1:
+        return make_congau_ball_object(seed, centre)
+    return make_histogram_box_object(seed, centre)
+
+
+class TestLinearBoxFunction:
+    def test_evaluation(self):
+        f = LinearBoxFunction(
+            intercept=np.array([[0.0, 0.0], [10.0, 10.0]]),
+            slope=np.array([[2.0, 4.0], [-2.0, -4.0]]),
+        )
+        box = f.box(0.5)
+        assert np.allclose(box.lo, [1.0, 2.0])
+        assert np.allclose(box.hi, [9.0, 8.0])
+        assert f.lower(0.25, 0) == pytest.approx(0.5)
+        assert f.upper(0.25, 1) == pytest.approx(9.0)
+
+    def test_crossing_collapses_to_midpoint(self):
+        f = LinearBoxFunction(
+            intercept=np.array([[0.0], [1.0]]),
+            slope=np.array([[10.0], [-10.0]]),
+        )
+        box = f.box(0.5)  # lo = 5, hi = -4 -> midpoint 0.5
+        assert box.lo[0] == pytest.approx(0.5)
+        assert box.hi[0] == pytest.approx(0.5)
+
+    def test_profile_matches_pointwise(self):
+        catalog = UCatalog([0.0, 0.2, 0.5])
+        f = LinearBoxFunction(
+            intercept=np.array([[0.0, 1.0], [8.0, 9.0]]),
+            slope=np.array([[1.0, 1.0], [-1.0, -1.0]]),
+        )
+        profile = f.profile(catalog)
+        for j, p in enumerate(catalog):
+            box = f.box(p)
+            assert np.allclose(profile[j, 0], box.lo)
+            assert np.allclose(profile[j, 1], box.hi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearBoxFunction(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            LinearBoxFunction(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestSandwichInvariant:
+    """cfb_in(p_j) ⊆ pcr(p_j) ⊆ cfb_out(p_j) for every catalog value."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 10, 11, 12])
+    def test_sandwich(self, seed, paper_catalog):
+        obj = make_object(seed)
+        pcrs = compute_pcrs(obj, paper_catalog)
+        outer, inner = fit_cfbs(pcrs)
+        for j, p in enumerate(paper_catalog):
+            pcr_box = pcrs.box(j)
+            out_box = outer.box(p)
+            in_box = inner.box(p)
+            assert np.all(out_box.lo <= pcr_box.lo + TOL), f"outer lo at j={j}"
+            assert np.all(pcr_box.hi <= out_box.hi + TOL), f"outer hi at j={j}"
+            assert np.all(pcr_box.lo <= in_box.lo + TOL), f"inner lo at j={j}"
+            assert np.all(in_box.hi <= pcr_box.hi + TOL), f"inner hi at j={j}"
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_sandwich_randomised(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 10))
+        catalog = UCatalog.evenly_spaced(m)
+        obj = make_object(seed)
+        pcrs = compute_pcrs(obj, catalog)
+        outer, inner = fit_cfbs(pcrs)
+        for j, p in enumerate(catalog):
+            pcr_box = pcrs.box(j)
+            assert np.all(outer.box(p).lo <= pcr_box.lo + TOL)
+            assert np.all(pcr_box.hi <= outer.box(p).hi + TOL)
+            assert np.all(pcr_box.lo <= inner.box(p).lo + TOL)
+            assert np.all(inner.box(p).hi <= pcr_box.hi + TOL)
+
+    def test_shrink_direction(self, paper_catalog):
+        """Faces must not widen as p grows (matching PCR nesting)."""
+        obj = make_object(4)
+        pcrs = compute_pcrs(obj, paper_catalog)
+        outer, inner = fit_cfbs(pcrs)
+        for f in (outer, inner):
+            assert np.all(f.slope[0] >= -TOL), "lower faces must rise with p"
+            assert np.all(f.slope[1] <= TOL), "upper faces must fall with p"
+
+
+class TestOptimality:
+    def test_closed_form_matches_simplex_outer(self, paper_catalog):
+        for seed in range(8):
+            pcrs = compute_pcrs(make_object(seed), paper_catalog)
+            cf = fit_outer_cfb(pcrs, method="closed-form")
+            sx = fit_outer_cfb(pcrs, method="simplex")
+            margin = lambda f: sum(f.box(p).margin() for p in paper_catalog)
+            assert margin(cf) == pytest.approx(margin(sx), abs=1e-6, rel=1e-9)
+
+    def test_closed_form_inner_not_worse_than_needed(self, paper_catalog):
+        """Anchored inner is within a whisker of the coupled LP optimum."""
+        for seed in range(8):
+            pcrs = compute_pcrs(make_object(seed), paper_catalog)
+            cf = fit_inner_cfb(pcrs, method="closed-form")
+            sx = fit_inner_cfb(pcrs, method="simplex")
+            margin = lambda f: sum(f.box(p).margin() for p in paper_catalog)
+            assert margin(cf) <= margin(sx) + 1e-6
+            assert margin(cf) >= 0.5 * margin(sx) - 1e-6
+
+    def test_outer_touches_pcr_somewhere(self, paper_catalog):
+        """A minimal-margin cover must be tight at some catalog value."""
+        pcrs = compute_pcrs(make_object(3), paper_catalog)
+        outer = fit_outer_cfb(pcrs)
+        gaps = []
+        for j, p in enumerate(paper_catalog):
+            gaps.append(np.min(pcrs.box(j).lo - outer.box(p).lo))
+        assert min(gaps) < 1e-3  # touches (up to the repair epsilon)
+
+    def test_unknown_method_rejected(self, paper_catalog):
+        pcrs = compute_pcrs(make_object(5), paper_catalog)
+        with pytest.raises(ValueError):
+            fit_outer_cfb(pcrs, method="magic")
+
+
+class TestAreaProxy:
+    def test_weights_shape_and_positive(self, paper_catalog):
+        pcrs = compute_pcrs(make_object(6), paper_catalog)
+        weights = area_proxy_weights(pcrs)
+        assert weights.shape == (paper_catalog.size, 2)
+        assert np.all(weights > 0)
+
+    def test_area_objective_still_contains(self, paper_catalog):
+        pcrs = compute_pcrs(make_object(7), paper_catalog)
+        outer = fit_outer_cfb(pcrs, weights=area_proxy_weights(pcrs))
+        for j, p in enumerate(paper_catalog):
+            assert np.all(outer.box(p).lo <= pcrs.box(j).lo + TOL)
+            assert np.all(pcrs.box(j).hi <= outer.box(p).hi + TOL)
+
+    def test_bad_weights_rejected(self, paper_catalog):
+        pcrs = compute_pcrs(make_object(8), paper_catalog)
+        with pytest.raises(ValueError):
+            fit_outer_cfb(pcrs, weights=np.zeros(paper_catalog.size))
+
+
+class TestCompression:
+    def test_cfb_representation_is_8d_values(self):
+        """The space argument of Section 4.3: 8d floats versus 2dm."""
+        f = LinearBoxFunction(np.zeros((2, 3)), np.zeros((2, 3)))
+        stored = f.intercept.size + f.slope.size
+        assert stored == 4 * 3  # per CFB: 4d values; two CFBs = 8d

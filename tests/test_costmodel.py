@@ -1,0 +1,101 @@
+"""Tests for the analytical U-tree cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import CostEstimate, UTreeCostModel
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import make_mixed_objects
+
+
+@pytest.fixture(scope="module")
+def tree():
+    objects = make_mixed_objects(250, seed=71)
+    t = UTree(2, estimator=AppearanceEstimator(n_samples=4000, seed=42))
+    for obj in objects:
+        t.insert(obj)
+    return t
+
+
+@pytest.fixture(scope="module")
+def model(tree):
+    return UTreeCostModel(tree)
+
+
+def _workload(tree, qs, pq, count=12, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for __ in range(count):
+        centre = rng.uniform(1000, 9000, 2)
+        out.append(ProbRangeQuery(Rect.from_center(centre, qs / 2), pq))
+    return out
+
+
+class TestCostEstimate:
+    def test_total_io(self):
+        est = CostEstimate(node_accesses=5.0, leaf_hits=10.0)
+        assert est.total_io(data_records_per_page=2.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            est.total_io(0.0)
+
+
+class TestModelAccuracy:
+    @pytest.mark.parametrize("qs", [500.0, 1500.0, 2500.0])
+    def test_node_access_prediction_within_factor(self, tree, model, qs):
+        """Predicted node accesses within 2.5x of measured (the classic
+        model's accuracy regime for data-distributed windows)."""
+        queries = _workload(tree, qs, 0.6, seed=int(qs))
+        measured = np.mean([tree.query(q).stats.node_accesses for q in queries])
+        predicted = model.estimate_workload(queries).node_accesses
+        assert predicted == pytest.approx(measured, rel=1.5), (
+            f"qs={qs}: predicted {predicted:.1f} vs measured {measured:.1f}"
+        )
+
+    def test_prediction_grows_with_query_size(self, model, tree):
+        small = model.estimate_workload(_workload(tree, 300.0, 0.6, seed=1))
+        large = model.estimate_workload(_workload(tree, 3000.0, 0.6, seed=1))
+        assert large.node_accesses > small.node_accesses
+        assert large.leaf_hits > small.leaf_hits
+
+    def test_prediction_uses_threshold_layer(self, model, tree):
+        """Higher thresholds probe deeper (smaller) boxes: predicted
+        cost must be non-increasing in pq for fixed regions."""
+        base = _workload(tree, 1000.0, 0.1, seed=2)
+        costs = []
+        for pq in (0.1, 0.4, 0.7, 0.95):
+            queries = [ProbRangeQuery(q.rect, pq) for q in base]
+            costs.append(model.estimate_workload(queries).node_accesses)
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_point_query_cheapest(self, model, tree):
+        tiny = model.estimate(ProbRangeQuery(Rect([5000, 5000], [5001, 5001]), 0.5))
+        huge = model.estimate(ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.5))
+        assert tiny.node_accesses < huge.node_accesses
+        # A domain-covering query must visit essentially everything.
+        assert huge.node_accesses == pytest.approx(tree.engine.node_count, rel=0.05)
+
+
+class TestModelMechanics:
+    def test_dimension_mismatch(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(ProbRangeQuery(Rect([0, 0, 0], [1, 1, 1]), 0.5))
+
+    def test_empty_tree_model(self):
+        empty = UTree(2)
+        model = UTreeCostModel(empty)
+        est = model.estimate(ProbRangeQuery(Rect([0, 0], [1, 1]), 0.5))
+        assert est.node_accesses == 1.0  # just the root
+        assert est.leaf_hits == 0.0
+
+    def test_empty_workload(self, model):
+        est = model.estimate_workload([])
+        assert est.node_accesses == 0.0 and est.leaf_hits == 0.0
+
+    def test_leaf_hits_bounded_by_objects(self, model, tree):
+        est = model.estimate(ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.5))
+        assert est.leaf_hits <= len(tree) + 1e-6

@@ -1,0 +1,161 @@
+"""Tests for dataset generators and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.datasets.aircraft import aircraft_objects, aircraft_points
+from repro.datasets.synthetic import (
+    DOMAIN_HIGH,
+    DOMAIN_LOW,
+    california_like,
+    clustered_points,
+    long_beach_like,
+    to_uncertain_objects,
+)
+from repro.datasets.workload import make_workload, workload_grid
+from repro.uncertainty.pdfs import ConstrainedGaussianDensity, UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+
+class TestClusteredPoints:
+    def test_shape_and_domain(self):
+        pts = clustered_points(500, dim=2, seed=0)
+        assert pts.shape == (500, 2)
+        assert pts.min() >= DOMAIN_LOW
+        assert pts.max() <= DOMAIN_HIGH
+
+    def test_deterministic(self):
+        a = clustered_points(200, seed=7)
+        b = clustered_points(200, seed=7)
+        assert np.array_equal(a, b)
+        c = clustered_points(200, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_clustered_not_uniform(self):
+        """Clustered data concentrates: cell-occupancy variance beats uniform."""
+        pts = clustered_points(5000, seed=1)
+        uniform = np.random.default_rng(1).uniform(0, 10000, (5000, 2))
+
+        def cell_counts(p):
+            bins = np.floor(p / 1000).astype(int).clip(0, 9)
+            counts = np.zeros((10, 10))
+            for x, y in bins:
+                counts[x, y] += 1
+            return counts
+
+        assert cell_counts(pts).std() > 2 * cell_counts(uniform).std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_points(0)
+        with pytest.raises(ValueError):
+            clustered_points(10, line_fraction=1.5)
+
+    def test_no_lines(self):
+        pts = clustered_points(100, line_fraction=0.0, seed=2)
+        assert pts.shape == (100, 2)
+
+    def test_named_datasets(self):
+        lb = long_beach_like(1000)
+        ca = california_like(1000)
+        assert lb.shape == ca.shape == (1000, 2)
+        assert not np.array_equal(lb, ca)
+
+
+class TestToUncertainObjects:
+    def test_uniform_conversion(self):
+        pts = clustered_points(20, seed=3)
+        objs = to_uncertain_objects(pts, radius=250.0, pdf="uniform")
+        assert len(objs) == 20
+        assert all(isinstance(o.pdf, UniformDensity) for o in objs)
+        assert all(isinstance(o.region, BallRegion) for o in objs)
+        assert objs[0].region.radius == 250.0
+        assert [o.oid for o in objs] == list(range(20))
+
+    def test_congau_conversion_default_sigma(self):
+        pts = clustered_points(5, seed=4)
+        objs = to_uncertain_objects(pts, radius=250.0, pdf="congau")
+        assert all(isinstance(o.pdf, ConstrainedGaussianDensity) for o in objs)
+        assert objs[0].pdf.sigma == 125.0  # paper: sigma = radius / 2
+
+    def test_first_oid(self):
+        pts = clustered_points(3, seed=5)
+        objs = to_uncertain_objects(pts, first_oid=100)
+        assert [o.oid for o in objs] == [100, 101, 102]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            to_uncertain_objects(np.zeros(5))
+        with pytest.raises(ValueError):
+            to_uncertain_objects(np.zeros((5, 2)), pdf="cauchy")
+
+
+class TestAircraft:
+    def test_points_shape(self):
+        pts = aircraft_points(300, n_airports=50, seed=0)
+        assert pts.shape == (300, 3)
+        assert pts[:, 2].min() >= DOMAIN_LOW
+        assert pts[:, 2].max() <= DOMAIN_HIGH
+
+    def test_xy_on_segments(self):
+        """(x, y) lies within the convex hull of airports (clip tolerance)."""
+        pts = aircraft_points(300, n_airports=50, seed=1)
+        assert pts[:, :2].min() >= DOMAIN_LOW - 1e-9
+        assert pts[:, :2].max() <= DOMAIN_HIGH + 1e-9
+
+    def test_objects(self):
+        objs = aircraft_objects(50, seed=2)
+        assert len(objs) == 50
+        assert objs[0].dim == 3
+        assert objs[0].region.radius == 125.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aircraft_points(0)
+        with pytest.raises(ValueError):
+            aircraft_points(10, n_airports=1)
+
+    def test_deterministic(self):
+        assert np.array_equal(aircraft_points(50, seed=3), aircraft_points(50, seed=3))
+
+
+class TestWorkload:
+    def test_basic(self):
+        pts = clustered_points(500, seed=6)
+        queries = make_workload(pts, n_queries=20, qs=500.0, pq=0.6, seed=0)
+        assert len(queries) == 20
+        for q in queries:
+            assert isinstance(q, ProbRangeQuery)
+            assert q.threshold == 0.6
+            assert np.allclose(q.rect.extent, 500.0)
+
+    def test_centres_follow_data(self):
+        """Query centres are data points, so they live where the data lives."""
+        pts = clustered_points(2000, seed=7)
+        queries = make_workload(pts, 50, 100.0, 0.5, seed=1)
+        centres = np.stack([q.rect.center for q in queries])
+        # Every centre coincides with some data point.
+        for c in centres[:10]:
+            assert np.min(np.linalg.norm(pts - c, axis=1)) < 1e-9
+
+    def test_validation(self):
+        pts = clustered_points(10, seed=8)
+        with pytest.raises(ValueError):
+            make_workload(pts, 0, 100.0, 0.5)
+        with pytest.raises(ValueError):
+            make_workload(pts, 5, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            make_workload(np.zeros((0, 2)), 5, 100.0, 0.5)
+
+    def test_grid_shares_centres_across_thresholds(self):
+        pts = clustered_points(100, seed=9)
+        grid = workload_grid(pts, 5, [100.0, 200.0], [0.3, 0.7], seed=2)
+        assert set(grid) == {(100.0, 0.3), (100.0, 0.7), (200.0, 0.3), (200.0, 0.7)}
+        a = grid[(100.0, 0.3)]
+        b = grid[(100.0, 0.7)]
+        for qa, qb in zip(a, b):
+            assert qa.rect == qb.rect
+            assert qa.threshold != qb.threshold

@@ -1,0 +1,271 @@
+"""Structural tests for the multi-layer R* engine.
+
+Tiny page sizes force deep trees so splits, forced reinserts and condense
+paths all run with small inputs.  Invariants checked: capacity bounds,
+uniform leaf depth, parent-child profile containment, and exact
+recall/precision of guided traversal against brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.engine import RStarEngine
+from repro.storage.layout import NodeLayout
+
+
+def tiny_layout(entries_per_node: int = 4) -> NodeLayout:
+    """A layout capping nodes at `entries_per_node` entries."""
+    page = 4096
+    entry = page // entries_per_node
+    return NodeLayout(leaf_entry_bytes=entry, inner_entry_bytes=entry, page_size=page)
+
+
+def single_layer_profile(lo, hi):
+    return np.array([[lo, hi]], dtype=float)
+
+
+def random_profile(rng, layers: int, d: int = 2, linear: bool = False):
+    """A valid multi-layer profile: layer boxes shrink with the layer index.
+
+    With ``linear=True`` the faces are affine in the layer index — the
+    shape CFB profiles have, and the precondition for chord-mode summaries
+    to be conservative.
+    """
+    lo = rng.uniform(0, 1000, d)
+    extent = rng.uniform(1.0, 120.0, d)
+    profile = np.empty((layers, 2, d))
+    if linear:
+        slope = extent / 2.0 * rng.uniform(0.0, 1.0, d)
+        for j in range(layers):
+            t = j / max(1, layers - 1)
+            profile[j, 0] = lo + t * slope
+            profile[j, 1] = lo + extent - t * slope
+        return profile
+    for j in range(layers):
+        shrink = (j / max(1, layers - 1)) * extent / 2.0 * rng.uniform(0.5, 1.0)
+        profile[j, 0] = lo + shrink
+        profile[j, 1] = lo + extent - shrink
+    return profile
+
+
+class TestSingleLayerEngine:
+    def test_insert_search_roundtrip(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        rng = np.random.default_rng(0)
+        items = []
+        for i in range(200):
+            lo = rng.uniform(0, 1000, 2)
+            hi = lo + rng.uniform(1, 50, 2)
+            engine.insert(single_layer_profile(lo, hi), i)
+            items.append(Rect(lo, hi))
+        engine.check_invariants()
+        assert len(engine) == 200
+        assert engine.height > 1
+
+        query = Rect([200, 200], [500, 500])
+        found = []
+        engine.traverse(
+            lambda e: query.intersects(Rect(e.profile[0, 0], e.profile[0, 1])),
+            lambda e: found.append(e.data)
+            if query.intersects(Rect(e.profile[0, 0], e.profile[0, 1]))
+            else None,
+        )
+        expected = [i for i, r in enumerate(items) if query.intersects(r)]
+        assert sorted(found) == sorted(expected)
+
+    def test_traverse_charges_reads(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        rng = np.random.default_rng(1)
+        for i in range(50):
+            lo = rng.uniform(0, 100, 2)
+            engine.insert(single_layer_profile(lo, lo + 5), i)
+        engine.io.reset()
+        accesses = engine.traverse(lambda e: True, lambda e: None)
+        assert accesses == engine.io.reads
+        assert accesses == engine.node_count
+
+    def test_delete_roundtrip(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        rng = np.random.default_rng(2)
+        profiles = []
+        for i in range(120):
+            lo = rng.uniform(0, 1000, 2)
+            p = single_layer_profile(lo, lo + rng.uniform(1, 30, 2))
+            profiles.append(p)
+            engine.insert(p, i)
+        order = rng.permutation(120)
+        for count, idx in enumerate(order):
+            assert engine.delete(lambda data, idx=idx: data == idx, profiles[idx])
+            if count % 10 == 0:
+                engine.check_invariants()
+        assert len(engine) == 0
+        assert engine.height == 1
+
+    def test_delete_missing_returns_false(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        lo = np.array([0.0, 0.0])
+        engine.insert(single_layer_profile(lo, lo + 1), 1)
+        assert not engine.delete(lambda data: data == 99, single_layer_profile(lo, lo + 1))
+        assert len(engine) == 1
+
+    def test_interleaved_insert_delete(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        rng = np.random.default_rng(3)
+        live = {}
+        next_id = 0
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                victim = int(rng.choice(list(live)))
+                assert engine.delete(lambda d, v=victim: d == v, live.pop(victim))
+            else:
+                lo = rng.uniform(0, 500, 2)
+                p = single_layer_profile(lo, lo + rng.uniform(1, 40, 2))
+                engine.insert(p, next_id)
+                live[next_id] = p
+                next_id += 1
+            if step % 50 == 0:
+                engine.check_invariants()
+        engine.check_invariants()
+        assert len(engine) == len(live)
+
+
+class TestMultiLayerEngine:
+    @pytest.mark.parametrize("chord", [False, True])
+    def test_invariants_after_bulk_insert(self, chord):
+        layers = 5
+        chord_values = np.linspace(0.0, 0.5, layers) if chord else None
+        engine = RStarEngine(2, layers, tiny_layout(), chord_values=chord_values)
+        rng = np.random.default_rng(4)
+        for i in range(150):
+            engine.insert(random_profile(rng, layers, linear=chord), i)
+        engine.check_invariants()
+        assert len(engine) == 150
+
+    def test_parent_bounds_every_layer(self):
+        """For every layer j, a parent entry's layer-j box contains each
+        child's layer-j box — the property Observation 4 relies on."""
+        layers = 4
+        engine = RStarEngine(
+            2, layers, tiny_layout(), chord_values=np.linspace(0.0, 0.5, layers)
+        )
+        rng = np.random.default_rng(5)
+        for i in range(120):
+            engine.insert(random_profile(rng, layers, linear=True), i)
+
+        def check(node):
+            if node.is_leaf:
+                return
+            for entry in node.entries:
+                child = entry.child
+                for child_entry in child.entries:
+                    assert np.all(
+                        entry.profile[:, 0, :] <= child_entry.profile[:, 0, :] + 1e-6
+                    )
+                    assert np.all(
+                        child_entry.profile[:, 1, :] <= entry.profile[:, 1, :] + 1e-6
+                    )
+                check(child)
+
+        check(engine.root)
+
+    def test_chord_profiles_are_linear(self):
+        layers = 6
+        values = np.linspace(0.0, 0.5, layers)
+        engine = RStarEngine(2, layers, tiny_layout(), chord_values=values)
+        rng = np.random.default_rng(6)
+        for i in range(80):
+            engine.insert(random_profile(rng, layers, linear=True), i)
+        # Every intermediate entry profile must lie on the chord between
+        # its first and last layers.
+        def check(node):
+            if node.is_leaf:
+                return
+            for entry in node.entries:
+                first, last = entry.profile[0], entry.profile[-1]
+                t = (values - values[0]) / (values[-1] - values[0])
+                expected = first[None] + t[:, None, None] * (last - first)[None]
+                assert np.allclose(entry.profile, expected, atol=1e-9)
+                check(entry.child)
+
+        check(engine.root)
+
+    def test_validation_errors(self):
+        layout = tiny_layout()
+        with pytest.raises(ValueError):
+            RStarEngine(0, 1, layout)
+        with pytest.raises(ValueError):
+            RStarEngine(2, 0, layout)
+        with pytest.raises(ValueError):
+            RStarEngine(2, 3, layout, chord_values=np.array([0.0, 0.5]))
+        with pytest.raises(ValueError):
+            RStarEngine(2, 2, layout, split_mode="bogus")
+        with pytest.raises(ValueError):
+            RStarEngine(2, 2, layout, split_layer=5)
+        engine = RStarEngine(2, 2, layout)
+        with pytest.raises(ValueError):
+            engine.insert(np.zeros((3, 2, 2)), 0)
+
+    def test_all_layers_split_mode(self):
+        layers = 3
+        engine = RStarEngine(2, layers, tiny_layout(), split_mode="all-layers")
+        rng = np.random.default_rng(7)
+        for i in range(100):
+            engine.insert(random_profile(rng, layers), i)
+        engine.check_invariants()
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_randomised_lifecycle(self, seed):
+        rng = np.random.default_rng(seed)
+        layers = int(rng.integers(1, 6))
+        cap = int(rng.integers(3, 8))
+        chord = rng.random() < 0.5 and layers > 1
+        engine = RStarEngine(
+            2,
+            layers,
+            tiny_layout(cap),
+            chord_values=np.linspace(0.0, 0.5, layers) if chord else None,
+        )
+        live = {}
+        for i in range(int(rng.integers(30, 120))):
+            p = random_profile(rng, layers, linear=chord)
+            engine.insert(p, i)
+            live[i] = p
+        for victim in rng.permutation(list(live))[: len(live) // 2]:
+            assert engine.delete(lambda d, v=victim: d == v, live.pop(int(victim)))
+        engine.check_invariants()
+        assert len(engine) == len(live)
+        assert sorted(e.data for e in engine.leaf_entries()) == sorted(live)
+
+
+class TestIOAccounting:
+    def test_insert_charges_io(self):
+        engine = RStarEngine(2, 1, tiny_layout())
+        rng = np.random.default_rng(8)
+        lo = rng.uniform(0, 100, 2)
+        before = engine.io.total
+        engine.insert(single_layer_profile(lo, lo + 1), 0)
+        assert engine.io.total > before
+
+    def test_node_count_tracks_store(self):
+        engine = RStarEngine(2, 1, tiny_layout(3))
+        rng = np.random.default_rng(9)
+        for i in range(60):
+            lo = rng.uniform(0, 1000, 2)
+            engine.insert(single_layer_profile(lo, lo + 5), i)
+        counted = [0]
+
+        def visit(node):
+            counted[0] += 1
+            if not node.is_leaf:
+                for e in node.entries:
+                    visit(e.child)
+
+        visit(engine.root)
+        assert counted[0] == engine.node_count
+        assert engine.size_bytes == engine.node_count * 4096

@@ -1,0 +1,94 @@
+"""Smoke tests for every experiment CLI entry point at tiny scale.
+
+`test_experiments.py` covers the `run()` functions; this module exercises
+the printing `main()` paths (the part a user actually invokes) and the
+`run_all` orchestrator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11, run_all, table1
+from repro.experiments.config import Scale
+from repro.experiments.data import clear_caches
+
+TINY = Scale(
+    name="tiny-mains",
+    lb_objects=200,
+    ca_objects=200,
+    aircraft_objects=200,
+    queries_per_workload=3,
+    mc_samples=1500,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    for module in (fig7, fig8, fig9, fig10, fig11, table1):
+        monkeypatch.setattr(module, "active_scale", lambda: TINY)
+
+
+def test_fig7_main(capsys):
+    fig7.main()
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "workload error" in out
+    assert "2D" in out and "3D" in out
+
+
+def test_fig8_main(capsys, monkeypatch):
+    # Narrow the sweep so the CLI stays fast.
+    monkeypatch.setattr(fig8, "catalog_sizes", lambda scale: [3, 6])
+    monkeypatch.setattr(fig8, "threshold_values", lambda scale: [0.3, 0.7])
+    fig8.main()
+    out = capsys.readouterr().out
+    assert out.count("Figure 8") == 3  # one table per dataset
+    assert "cost (s)" in out
+
+
+def test_table1_main(capsys):
+    table1.main()
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    for name in ("LB", "CA", "Aircraft"):
+        assert name in out
+
+
+def test_fig9_main(capsys):
+    fig9.main()
+    out = capsys.readouterr().out
+    assert out.count("Figure 9") == 3
+    assert "IO(U-tree)" in out
+
+
+def test_fig10_main(capsys):
+    fig10.main()
+    out = capsys.readouterr().out
+    assert out.count("Figure 10") == 3
+    assert "total(U-PCR)" in out
+
+
+def test_fig11_main(capsys):
+    fig11.main()
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "ins CPU (s)" in out
+
+
+def test_run_all(capsys, monkeypatch):
+    monkeypatch.setattr(run_all, "active_scale", lambda: TINY)
+    monkeypatch.setattr(fig8, "catalog_sizes", lambda scale: [3])
+    monkeypatch.setattr(fig8, "threshold_values", lambda scale: [0.5])
+    run_all.main()
+    out = capsys.readouterr().out
+    assert "all experiments done" in out
+    for label in ("Figure 7", "Figure 8", "Table 1", "Figure 9", "Figure 10", "Figure 11"):
+        assert f"[{label} completed" in out

@@ -1,0 +1,205 @@
+"""Smoke tests for the experiment harness at tiny scale.
+
+Each experiment module must run end to end and produce series with the
+paper's qualitative shapes.  Full-scale fidelity is exercised by the
+benchmark suite and the module CLIs; here we keep runtimes small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11, table1
+from repro.experiments.config import BENCH_SCALE, DEFAULT_SCALE, FULL_SCALE, Scale, active_scale
+from repro.experiments.data import (
+    build_upcr,
+    build_utree,
+    clear_caches,
+    dataset_objects,
+    dataset_points,
+)
+from repro.experiments.harness import format_table, run_workload, total_cost_seconds
+from repro.datasets.workload import make_workload
+
+TINY = Scale(
+    name="tiny",
+    lb_objects=220,
+    ca_objects=220,
+    aircraft_objects=220,
+    queries_per_workload=4,
+    mc_samples=2000,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestConfig:
+    def test_scales_defined(self):
+        assert FULL_SCALE.lb_objects == 53_000
+        assert FULL_SCALE.mc_samples == 1_000_000
+        assert DEFAULT_SCALE.lb_objects < FULL_SCALE.lb_objects
+
+    def test_active_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert active_scale() == DEFAULT_SCALE
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert active_scale() == FULL_SCALE
+
+    def test_smaller(self):
+        s = DEFAULT_SCALE.smaller(10)
+        assert s.lb_objects == DEFAULT_SCALE.lb_objects // 10
+        assert s.queries_per_workload >= 4
+
+
+class TestData:
+    def test_dataset_points_cached(self):
+        a = dataset_points("LB", TINY)
+        b = dataset_points("LB", TINY)
+        assert a is b
+        assert a.shape == (TINY.lb_objects, 2)
+
+    def test_dataset_kinds(self):
+        lb = dataset_objects("LB", TINY)
+        ca = dataset_objects("CA", TINY)
+        air = dataset_objects("Aircraft", TINY)
+        assert lb[0].dim == 2 and ca[0].dim == 2 and air[0].dim == 3
+        assert type(lb[0].pdf).__name__ == "UniformDensity"
+        assert type(ca[0].pdf).__name__ == "ConstrainedGaussianDensity"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            dataset_points("Mars", TINY)
+
+    def test_tree_caching(self):
+        t1 = build_utree("LB", TINY)
+        t2 = build_utree("LB", TINY)
+        assert t1 is t2
+        assert len(t1) == TINY.lb_objects
+
+
+class TestHarness:
+    def test_run_workload_and_cost(self):
+        tree = build_utree("LB", TINY)
+        workload = make_workload(dataset_points("LB", TINY), 4, 800.0, 0.5, seed=1)
+        stats = run_workload(tree, workload)
+        assert stats.count == 4
+        cost = total_cost_seconds(stats, TINY)
+        assert cost > 0
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+
+class TestFig7:
+    def test_shapes(self):
+        result = fig7.run(TINY, n_queries=6)
+        assert set(result["dims"]) == {2, 3}
+        for dim in (2, 3):
+            errors = result["dims"][dim]["workload_error"]
+            times = result["dims"][dim]["seconds_per_eval"]
+            assert len(errors) == len(result["n1"])
+            assert errors[-1] < errors[0]  # error decays with n1
+            assert times[-1] > times[0]  # cost grows with n1
+
+
+class TestFig8:
+    def test_runs_and_reports(self):
+        result = fig8.run(TINY, dataset="LB", m_values=[3, 6])
+        assert result["m"] == [3, 6]
+        assert len(result["cost_seconds"]) == 2
+        sizes = [d["index_bytes"] for d in result["details"]]
+        assert sizes[1] >= sizes[0]  # more catalog values -> bigger U-PCR
+
+    def test_utree_variant(self):
+        result = fig8.run(TINY, dataset="LB", tree="utree", m_values=[3, 6])
+        sizes = [d["index_bytes"] for d in result["details"]]
+        # U-tree size is independent of the catalog (same layout).
+        assert abs(sizes[0] - sizes[1]) <= 3 * 4096
+
+    def test_bad_tree_kind(self):
+        with pytest.raises(ValueError):
+            fig8.run(TINY, tree="btree")
+
+
+class TestTable1:
+    def test_ratio_shape(self):
+        result = table1.run(TINY, datasets=("LB",))
+        row = result["LB"]
+        assert row["upcr_bytes"] > row["utree_bytes"]
+        assert row["ratio"] > 1.5
+
+
+class TestFig9:
+    def test_shapes(self):
+        result = fig9.run(TINY, datasets=("LB",), qs_values=(500.0, 1500.0), pq=0.6)
+        series = result["LB"]
+        # U-tree accesses fewer nodes at every size.
+        for u, p in zip(series["utree"]["node_accesses"], series["upcr"]["node_accesses"]):
+            assert u <= p
+        # I/O grows with qs.
+        assert series["utree"]["node_accesses"][1] >= series["utree"]["node_accesses"][0]
+
+
+class TestFig10:
+    def test_shapes(self):
+        result = fig10.run(TINY, datasets=("LB",), pq_values=(0.3, 0.9), qs=1200.0)
+        series = result["LB"]
+        for u, p in zip(series["utree"]["node_accesses"], series["upcr"]["node_accesses"]):
+            assert u <= p
+        assert all(v >= 0 for v in series["utree"]["prob_computations"])
+
+
+class TestFig11:
+    def test_update_costs(self):
+        result = fig11.run(TINY, datasets=("LB",))
+        row = result["LB"]
+        assert row["objects"] == TINY.lb_objects
+        assert row["insert_avg_io"] > 0
+        assert row["insert_avg_cpu_seconds"] > 0
+        assert row["delete_avg_io"] > 0
+
+
+class TestMains:
+    """The CLI entry points must print without crashing (tiny scale)."""
+
+    def test_table1_main(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.experiments.table1.active_scale", lambda: TINY)
+        table1.main()
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "U-PCR" in out
+
+
+class TestMotivation:
+    def test_threshold_trades_recall_for_precision(self):
+        from repro.experiments import motivation
+
+        result = motivation.run(TINY, thresholds=(0.3, 0.8))
+        rows = result["rows"]
+        assert rows[0]["method"] == "R*-tree on reports"
+        prob_rows = [r for r in rows if r["threshold"] is not None]
+        low, high = prob_rows[0], prob_rows[-1]
+        # Raising the threshold must not hurt precision and must not help
+        # recall (the probabilistic operating curve).
+        assert high["precision"] >= low["precision"] - 1e-9
+        assert high["recall"] <= low["recall"] + 1e-9
+        # All scores are valid fractions.
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+    def test_motivation_main(self, capsys, monkeypatch):
+        from repro.experiments import motivation
+
+        monkeypatch.setattr(motivation, "active_scale", lambda: TINY)
+        motivation.main()
+        out = capsys.readouterr().out
+        assert "precision" in out and "recall" in out

@@ -1,0 +1,169 @@
+"""Randomised cross-validation battery.
+
+Each scenario draws a random configuration (dimensionality, catalog,
+page size, pdf mix, query parameters) and checks the full contract:
+U-tree answers equal brute-force Monte-Carlo answers, structural
+invariants hold, and deletion leaves a consistent index.  These are the
+"kitchen sink" runs that catch interaction bugs the per-module tests
+miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    MixtureDensity,
+    RadialExponentialDensity,
+    UniformDensity,
+    zipf_histogram,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion
+
+
+def random_object(rng: np.random.Generator, oid: int, dim: int) -> UncertainObject:
+    centre = rng.uniform(1000, 9000, dim)
+    radius = float(rng.uniform(80, 400))
+    kind = int(rng.integers(0, 5))
+    if kind == 0:
+        pdf = UniformDensity(BallRegion(centre, radius), marginal_seed=oid)
+    elif kind == 1:
+        pdf = ConstrainedGaussianDensity(
+            BallRegion(centre, radius), sigma=radius * float(rng.uniform(0.3, 0.7)),
+            marginal_seed=oid,
+        )
+    elif kind == 2:
+        region = BoxRegion(Rect(centre - radius, centre + radius))
+        pdf = zipf_histogram(region, int(rng.integers(3, 8)), skew=float(rng.uniform(0.5, 2.0)),
+                             seed=oid, marginal_seed=oid)
+    elif kind == 3:
+        pdf = RadialExponentialDensity(
+            BallRegion(centre, radius), scale=radius * float(rng.uniform(0.2, 0.6)),
+            marginal_seed=oid,
+        )
+    else:
+        region = BallRegion(centre, radius)
+        pdf = MixtureDensity(
+            [
+                UniformDensity(region, marginal_seed=oid),
+                ConstrainedGaussianDensity(region, sigma=radius / 3, marginal_seed=oid),
+            ],
+            weights=[float(rng.uniform(0.2, 0.8)), 1.0],
+            marginal_seed=oid,
+        )
+    return UncertainObject(oid, pdf)
+
+
+@pytest.mark.parametrize("scenario", range(6))
+def test_random_scenario_full_contract(scenario):
+    rng = np.random.default_rng(7000 + scenario)
+    dim = 2 if scenario % 2 == 0 else 3
+    n_objects = int(rng.integers(25, 60))
+    m = int(rng.integers(3, 16))
+    page_size = int(rng.choice([1024, 2048, 4096]))
+    catalog = UCatalog.evenly_spaced(m)
+    estimator = AppearanceEstimator(n_samples=15_000, seed=42)
+
+    if dim == 3:
+        # 3-D histogram/box pdfs get big; stick to ball-supported families.
+        objects = []
+        for i in range(n_objects):
+            centre = rng.uniform(1000, 9000, 3)
+            radius = float(rng.uniform(80, 300))
+            if i % 2 == 0:
+                pdf = UniformDensity(BallRegion(centre, radius), marginal_seed=i)
+            else:
+                pdf = ConstrainedGaussianDensity(
+                    BallRegion(centre, radius), sigma=radius / 2, marginal_seed=i
+                )
+            objects.append(UncertainObject(i, pdf))
+    else:
+        objects = [random_object(rng, i, dim) for i in range(n_objects)]
+
+    tree = UTree(dim, catalog, page_size=page_size, estimator=estimator)
+    for obj in objects:
+        tree.insert(obj)
+    tree.check_invariants()
+
+    reference = AppearanceEstimator(n_samples=15_000, seed=42)
+
+    def truth(query):
+        out = []
+        for obj in objects:
+            if reference.estimate(obj.pdf, query.rect, object_id=obj.oid) >= query.threshold:
+                out.append(obj.oid)
+        return sorted(out)
+
+    for q in range(4):
+        centre = rng.uniform(1500, 8500, dim)
+        size = float(rng.uniform(300, 3500))
+        pq = round(float(rng.uniform(0.05, 0.95)), 3)
+        query = ProbRangeQuery(Rect.from_center(centre, size / 2), pq)
+        assert tree.query(query).sorted_ids() == truth(query), (
+            f"scenario {scenario} query {q}: dim={dim} m={m} page={page_size} pq={pq}"
+        )
+
+    # Delete a random half and re-verify.
+    victims = rng.permutation(n_objects)[: n_objects // 2]
+    survivors = [obj for obj in objects if obj.oid not in set(victims.tolist())]
+    for oid in victims:
+        assert tree.delete(int(oid)) is not None
+    tree.check_invariants()
+
+    objects = survivors  # truth() closes over this name
+    query = ProbRangeQuery(
+        Rect.from_center(rng.uniform(2000, 8000, dim), 2000.0),
+        0.4,
+    )
+    assert tree.query(query).sorted_ids() == truth(query)
+
+
+def test_extreme_catalogs():
+    """Degenerate catalogs must still be sound: m = 2 endpoints only."""
+    rng = np.random.default_rng(99)
+    estimator = AppearanceEstimator(n_samples=15_000, seed=42)
+    objects = [
+        UncertainObject(i, UniformDensity(BallRegion(rng.uniform(2000, 8000, 2), 200.0),
+                                          marginal_seed=i))
+        for i in range(30)
+    ]
+    tree = UTree(2, UCatalog([0.0, 0.5]), estimator=estimator)
+    for obj in objects:
+        tree.insert(obj)
+    reference = AppearanceEstimator(n_samples=15_000, seed=42)
+    for pq in (0.1, 0.5, 0.9):
+        query = ProbRangeQuery(Rect([3000, 3000], [7000, 7000]), pq)
+        expected = sorted(
+            obj.oid
+            for obj in objects
+            if reference.estimate(obj.pdf, query.rect, object_id=obj.oid) >= pq
+        )
+        assert tree.query(query).sorted_ids() == expected
+
+
+def test_overlapping_identical_objects():
+    """Many objects sharing one location stress tie-handling everywhere."""
+    estimator = AppearanceEstimator(n_samples=10_000, seed=42)
+    objects = [
+        UncertainObject(i, UniformDensity(BallRegion([5000.0, 5000.0], 250.0),
+                                          marginal_seed=i))
+        for i in range(25)
+    ]
+    tree = UTree(2, estimator=estimator)
+    for obj in objects:
+        tree.insert(obj)
+    tree.check_invariants()
+    # A query covering the shared region returns everyone...
+    full = ProbRangeQuery(Rect([4000, 4000], [6000, 6000]), 0.9)
+    assert tree.query(full).sorted_ids() == list(range(25))
+    # ... and a disjoint one returns no one.
+    empty = ProbRangeQuery(Rect([0, 0], [1000, 1000]), 0.1)
+    assert tree.query(empty).object_ids == []

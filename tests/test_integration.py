@@ -1,0 +1,155 @@
+"""Cross-structure integration tests: the headline no-false-answers
+contract across arbitrary pdfs, both dimensionalities and all three
+access methods, plus end-to-end dynamic scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.scan import SequentialScan
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import MixtureDensity, UniformDensity, ConstrainedGaussianDensity
+from repro.uncertainty.regions import BallRegion
+from tests.conftest import brute_force_answer, make_mixed_objects
+
+
+def _estimator():
+    return AppearanceEstimator(n_samples=20_000, seed=42)
+
+
+class TestThreeWayAgreement:
+    """U-tree, U-PCR and sequential scan must return identical answers."""
+
+    @pytest.fixture(scope="class")
+    def structures(self):
+        objects = make_mixed_objects(70, seed=81)
+        utree = UTree(2, estimator=_estimator())
+        upcr = UPCRTree(2, estimator=_estimator())
+        scan = SequentialScan(2, estimator=_estimator())
+        for obj in objects:
+            utree.insert(obj)
+            upcr.insert(obj)
+            scan.insert(obj)
+        return objects, utree, upcr, scan
+
+    def test_agreement_random_queries(self, structures):
+        objects, utree, upcr, scan = structures
+        rng = np.random.default_rng(5)
+        for __ in range(12):
+            centre = rng.uniform(500, 9500, 2)
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(200, 3000))),
+                round(float(rng.uniform(0.05, 0.95)), 3),
+            )
+            a = utree.query(query).sorted_ids()
+            b = upcr.query(query).sorted_ids()
+            c = scan.query(query).sorted_ids()
+            assert a == b == c
+
+    def test_agreement_with_ground_truth(self, structures):
+        objects, utree, __, __s = structures
+        query = ProbRangeQuery(Rect([2500, 2500], [7500, 7500]), 0.6)
+        assert utree.query(query).sorted_ids() == brute_force_answer(
+            objects, query.rect, 0.6
+        )
+
+
+class TestMixturePdfEndToEnd:
+    def test_mixture_objects_indexed(self):
+        """The 'arbitrary pdf' promise: mixtures work through the full stack."""
+        rng = np.random.default_rng(6)
+        objects = []
+        for i in range(25):
+            region = BallRegion(rng.uniform(1000, 9000, 2), 300.0)
+            mix = MixtureDensity(
+                [
+                    UniformDensity(region, marginal_seed=i),
+                    ConstrainedGaussianDensity(region, sigma=100.0, marginal_seed=i),
+                ],
+                weights=[0.4, 0.6],
+                marginal_seed=i,
+            )
+            objects.append(UncertainObject(i, mix))
+        tree = UTree(2, estimator=_estimator())
+        for obj in objects:
+            tree.insert(obj)
+        tree.check_invariants()
+        query = ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.5)
+        assert tree.query(query).sorted_ids() == [o.oid for o in objects]
+        partial = ProbRangeQuery(Rect([1000, 1000], [5000, 5000]), 0.4)
+        assert tree.query(partial).sorted_ids() == brute_force_answer(
+            objects, partial.rect, 0.4
+        )
+
+
+class TestThreeDimensional:
+    def test_3d_tree_against_brute_force(self):
+        rng = np.random.default_rng(7)
+        objects = [
+            UncertainObject(
+                i, UniformDensity(BallRegion(rng.uniform(1000, 9000, 3), 125.0), marginal_seed=i)
+            )
+            for i in range(40)
+        ]
+        tree = UTree(3, estimator=_estimator())
+        for obj in objects:
+            tree.insert(obj)
+        tree.check_invariants()
+        for seed in range(4):
+            qrng = np.random.default_rng(70 + seed)
+            centre = qrng.uniform(2000, 8000, 3)
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(qrng.uniform(500, 2500))),
+                float(qrng.uniform(0.2, 0.8)),
+            )
+            assert tree.query(query).sorted_ids() == brute_force_answer(
+                objects, query.rect, query.threshold
+            )
+
+
+class TestDynamicScenario:
+    def test_moving_objects_update_cycle(self):
+        """Location-based-service pattern: objects re-report and move."""
+        rng = np.random.default_rng(8)
+        estimator = _estimator()
+        tree = UTree(2, estimator=estimator)
+        positions = {i: rng.uniform(2000, 8000, 2) for i in range(30)}
+        objects = {}
+        for i, pos in positions.items():
+            obj = UncertainObject(i, UniformDensity(BallRegion(pos, 250.0), marginal_seed=i))
+            objects[i] = obj
+            tree.insert(obj)
+
+        for round_no in range(3):
+            movers = rng.choice(30, size=10, replace=False)
+            for i in movers:
+                assert tree.delete(int(i)) is not None
+                positions[int(i)] = positions[int(i)] + rng.uniform(-500, 500, 2)
+                obj = UncertainObject(
+                    int(i),
+                    UniformDensity(BallRegion(positions[int(i)], 250.0), marginal_seed=int(i)),
+                )
+                objects[int(i)] = obj
+                tree.insert(obj)
+            tree.check_invariants()
+
+        query = ProbRangeQuery(Rect([3000, 3000], [7000, 7000]), 0.5)
+        expected = brute_force_answer(list(objects.values()), query.rect, 0.5)
+        assert tree.query(query).sorted_ids() == expected
+
+    def test_io_counter_shared_across_components(self):
+        """Index nodes and data pages accumulate in one counter."""
+        objects = make_mixed_objects(25, seed=82)
+        tree = UTree(2, estimator=_estimator())
+        for obj in objects:
+            tree.insert(obj)
+        tree.io.reset()
+        query = ProbRangeQuery(Rect([4000, 4000], [6000, 6000]), 0.3)
+        stats = tree.query(query).stats
+        assert tree.io.reads == stats.node_accesses + stats.data_page_reads

@@ -1,0 +1,144 @@
+"""Tests for the per-axis marginal CDF/quantile machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty.marginals import (
+    FunctionMarginals,
+    GridMarginals,
+    SampleMarginals,
+)
+
+
+class TestFunctionMarginals:
+    def _linear(self):
+        return FunctionMarginals(
+            cdfs=[lambda x: x, lambda x: x / 2.0],
+            quantiles=[lambda p: p, lambda p: 2.0 * p],
+        )
+
+    def test_round_trip(self):
+        m = self._linear()
+        assert m.cdf(0, 0.25) == pytest.approx(0.25)
+        assert m.quantile(1, 0.25) == pytest.approx(0.5)
+
+    def test_cdf_clipped(self):
+        m = self._linear()
+        assert m.cdf(0, 5.0) == 1.0
+        assert m.cdf(0, -5.0) == 0.0
+
+    def test_bad_inputs(self):
+        m = self._linear()
+        with pytest.raises(IndexError):
+            m.cdf(2, 0.5)
+        with pytest.raises(ValueError):
+            m.quantile(0, 1.5)
+        with pytest.raises(ValueError):
+            FunctionMarginals([], [])
+
+
+class TestGridMarginals:
+    def test_uniform_profile(self):
+        grid = np.linspace(0.0, 10.0, 101)
+        m = GridMarginals([grid], [np.ones_like(grid)])
+        assert m.cdf(0, 5.0) == pytest.approx(0.5)
+        assert m.quantile(0, 0.25) == pytest.approx(2.5)
+
+    def test_triangular_profile(self):
+        grid = np.linspace(0.0, 1.0, 2001)
+        m = GridMarginals([grid], [grid])  # density f(x) = 2x -> cdf x^2
+        assert m.cdf(0, 0.5) == pytest.approx(0.25, abs=1e-3)
+        assert m.quantile(0, 0.25) == pytest.approx(0.5, abs=1e-3)
+
+    def test_zero_density_stretch(self):
+        """Flat CDF runs must not break quantile inversion."""
+        grid = np.linspace(0.0, 3.0, 301)
+        profile = np.where((grid < 1.0) | (grid > 2.0), 1.0, 0.0)
+        m = GridMarginals([grid], [profile])
+        # Half the mass is below 1.0.
+        assert m.quantile(0, 0.5) <= 1.01
+        assert m.cdf(0, 1.5) == pytest.approx(0.5, abs=1e-2)
+
+    def test_validation(self):
+        grid = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            GridMarginals([grid], [np.full(11, -1.0)])
+        with pytest.raises(ValueError):
+            GridMarginals([grid], [np.zeros(11)])
+        with pytest.raises(ValueError):
+            GridMarginals([grid[::-1]], [np.ones(11)])
+        with pytest.raises(ValueError):
+            GridMarginals([], [])
+
+    def test_from_cdf_exact(self):
+        grid = np.array([0.0, 1.0, 3.0])
+        cdf = np.array([0.0, 0.75, 1.0])
+        m = GridMarginals.from_cdf([grid], [cdf])
+        assert m.cdf(0, 1.0) == pytest.approx(0.75)
+        assert m.quantile(0, 0.375) == pytest.approx(0.5)
+        assert m.quantile(0, 1.0) == pytest.approx(3.0)
+
+    def test_from_cdf_validation(self):
+        grid = np.array([0.0, 1.0])
+        with pytest.raises(ValueError):
+            GridMarginals.from_cdf([grid], [np.array([0.0, 0.5])])
+        with pytest.raises(ValueError):
+            GridMarginals.from_cdf([grid], [np.array([0.5, 0.0])])
+
+
+class TestSampleMarginals:
+    def test_weighted_quantiles(self):
+        points = np.array([[0.0], [1.0], [2.0], [3.0]])
+        weights = np.array([1.0, 1.0, 1.0, 1.0])
+        m = SampleMarginals(points, weights)
+        assert m.quantile(0, 0.5) in (1.0, 2.0)
+        assert m.cdf(0, 1.5) == pytest.approx(0.5)
+
+    def test_unequal_weights(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([9.0, 1.0])
+        m = SampleMarginals(points, weights)
+        assert m.quantile(0, 0.5) == 0.0
+        assert m.quantile(0, 0.95) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleMarginals(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            SampleMarginals(np.zeros((3, 2)), np.zeros(3))  # all-zero weights
+        with pytest.raises(ValueError):
+            SampleMarginals(np.zeros((3, 2)), np.array([1.0, -1.0, 1.0]))
+
+    def test_converges_to_true_marginal(self):
+        """Uniform samples with uniform weights approximate the uniform CDF."""
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 1, size=(20_000, 2))
+        m = SampleMarginals(points, np.ones(20_000))
+        for p in (0.1, 0.5, 0.9):
+            assert m.quantile(0, p) == pytest.approx(p, abs=0.02)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_quantile_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(200, 2))
+        weights = rng.uniform(0.1, 1.0, 200)
+        m = SampleMarginals(points, weights)
+        ps = np.linspace(0, 1, 21)
+        for axis in range(2):
+            qs = [m.quantile(axis, p) for p in ps]
+            assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_cdf_quantile_galois(self, seed):
+        """cdf(quantile(p)) >= p for the empirical distribution."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(100, 1))
+        m = SampleMarginals(points, np.ones(100))
+        for p in (0.05, 0.3, 0.5, 0.77, 0.95):
+            assert m.cdf(0, m.quantile(0, p)) >= p - 1e-9

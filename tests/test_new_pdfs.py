@@ -1,0 +1,180 @@
+"""Tests for the extended pdf families: radial-exponential, Poisson
+histograms, and arbitrary-callable tabulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.pcr import compute_pcrs
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    RadialExponentialDensity,
+    poisson_histogram,
+    tabulate_density,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion
+from tests.conftest import brute_force_answer
+
+
+def monte_carlo_integral(density, n=60_000, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = density.region.sample(n, rng)
+    return float(density.density(pts).mean() * density.region.volume())
+
+
+class TestRadialExponential:
+    def test_integrates_to_one(self):
+        pdf = RadialExponentialDensity(BallRegion([0.0, 0.0], 5.0), scale=2.0)
+        assert monte_carlo_integral(pdf) == pytest.approx(1.0, abs=0.01)
+
+    def test_decays_with_distance(self):
+        pdf = RadialExponentialDensity(BallRegion([0.0, 0.0], 5.0), scale=1.0)
+        assert pdf.density_at([0.0, 0.0]) > pdf.density_at([2.0, 0.0])
+        assert pdf.density_at([2.0, 0.0]) > pdf.density_at([4.0, 0.0])
+
+    def test_zero_outside(self):
+        pdf = RadialExponentialDensity(BallRegion([0.0, 0.0], 1.0), scale=1.0)
+        assert pdf.density_at([3.0, 0.0]) == 0.0
+
+    def test_custom_mode(self):
+        region = BoxRegion(Rect([0.0, 0.0], [10.0, 10.0]))
+        pdf = RadialExponentialDensity(region, scale=2.0, mode=[8.0, 8.0])
+        assert pdf.density_at([8.0, 8.0]) > pdf.density_at([1.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadialExponentialDensity(BallRegion([0, 0], 1.0), scale=0.0)
+        with pytest.raises(ValueError):
+            RadialExponentialDensity(BallRegion([0, 0], 1.0), scale=1.0, mode=[0, 0, 0])
+
+    def test_marginals_median_near_mode(self):
+        """Symmetric decay about the centre: median at the centre."""
+        pdf = RadialExponentialDensity(
+            BallRegion([100.0, 50.0], 20.0), scale=5.0, marginal_seed=3
+        )
+        m = pdf.marginals()
+        assert m.quantile(0, 0.5) == pytest.approx(100.0, abs=1.5)
+        assert m.quantile(1, 0.5) == pytest.approx(50.0, abs=1.5)
+
+    def test_pcrs_tighter_than_uniform(self):
+        """Mass concentration makes inner quantile boxes smaller than the
+        uniform pdf's over the same region."""
+        from repro.uncertainty.pdfs import UniformDensity
+
+        region = BallRegion([0.0, 0.0], 100.0)
+        catalog = UCatalog([0.0, 0.25, 0.5])
+        expo = compute_pcrs(
+            UncertainObject(0, RadialExponentialDensity(region, scale=15.0, marginal_seed=1)),
+            catalog,
+        )
+        uni = compute_pcrs(UncertainObject(1, UniformDensity(region, marginal_seed=1)), catalog)
+        assert expo.box(1).area() < uni.box(1).area()
+
+    def test_indexable_end_to_end(self):
+        rng = np.random.default_rng(11)
+        objects = [
+            UncertainObject(
+                i,
+                RadialExponentialDensity(
+                    BallRegion(rng.uniform(1000, 9000, 2), 250.0),
+                    scale=80.0,
+                    marginal_seed=i,
+                ),
+            )
+            for i in range(30)
+        ]
+        tree = UTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+        for obj in objects:
+            tree.insert(obj)
+        query = ProbRangeQuery(Rect([2000, 2000], [8000, 8000]), 0.5)
+        assert tree.query(query).sorted_ids() == brute_force_answer(
+            objects, query.rect, 0.5
+        )
+
+
+class TestPoissonHistogram:
+    def _region(self):
+        return BoxRegion(Rect([0.0, 0.0], [16.0, 16.0]))
+
+    def test_integrates_to_one(self):
+        pdf = poisson_histogram(self._region(), rates=[3.0, 6.0], cells_per_axis=16)
+        assert monte_carlo_integral(pdf) == pytest.approx(1.0, abs=0.01)
+
+    def test_mode_near_rate(self):
+        """The likeliest cell index on each axis is near the rate."""
+        pdf = poisson_histogram(self._region(), rates=[3.0, 10.0], cells_per_axis=16)
+        idx = np.unravel_index(np.argmax(pdf.weights), pdf.weights.shape)
+        assert idx[0] in (2, 3)
+        assert idx[1] in (9, 10)
+
+    def test_marginal_factorises(self):
+        """Product construction: the joint equals the outer product."""
+        pdf = poisson_histogram(self._region(), rates=[2.0, 5.0], cells_per_axis=12)
+        row = pdf.weights.sum(axis=1)
+        col = pdf.weights.sum(axis=0)
+        assert np.allclose(np.multiply.outer(row, col), pdf.weights, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_histogram(self._region(), rates=[1.0], cells_per_axis=8)
+        with pytest.raises(ValueError):
+            poisson_histogram(self._region(), rates=[1.0, -2.0])
+        with pytest.raises(ValueError):
+            poisson_histogram(self._region(), rates=[1.0, 1.0], cells_per_axis=0)
+
+
+class TestTabulateDensity:
+    def _region(self):
+        return BoxRegion(Rect([0.0, 0.0], [10.0, 10.0]))
+
+    def test_recovers_linear_ramp(self):
+        """Tabulating f(x, y) ∝ x reproduces its marginal quantiles."""
+        pdf = tabulate_density(lambda pts: pts[:, 0], self._region(), cells_per_axis=64)
+        m = pdf.marginals()
+        # CDF of density 2x/100 on [0,10]: F(x) = x^2/100; median at sqrt(50).
+        assert m.quantile(0, 0.5) == pytest.approx(np.sqrt(50.0), abs=0.2)
+        # y-marginal is uniform.
+        assert m.quantile(1, 0.5) == pytest.approx(5.0, abs=0.2)
+
+    def test_integrates_to_one(self):
+        pdf = tabulate_density(
+            lambda pts: np.exp(-np.abs(pts[:, 0] - 5.0)), self._region(), cells_per_axis=32
+        )
+        assert monte_carlo_integral(pdf) == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tabulate_density(lambda pts: -np.ones(len(pts)), self._region())
+        with pytest.raises(ValueError):
+            tabulate_density(lambda pts: np.ones((len(pts), 2)), self._region())
+        with pytest.raises(ValueError):
+            tabulate_density(lambda pts: np.ones(len(pts)), self._region(), cells_per_axis=0)
+
+    def test_tabulated_indexable_end_to_end(self):
+        """Anything tabulated is queryable with exact agreement."""
+        rng = np.random.default_rng(13)
+        objects = []
+        for i in range(20):
+            centre = rng.uniform(1000, 9000, 2)
+            region = BoxRegion(Rect(centre - 200, centre + 200))
+
+            def wave(pts, c=centre):
+                return 1.0 + np.sin(pts[:, 0] / 40.0) * np.cos(pts[:, 1] / 40.0)
+
+            objects.append(
+                UncertainObject(i, tabulate_density(wave, region, cells_per_axis=16,
+                                                    marginal_seed=i))
+            )
+        tree = UTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+        for obj in objects:
+            tree.insert(obj)
+        query = ProbRangeQuery(Rect([2000, 2000], [7000, 7000]), 0.4)
+        assert tree.query(query).sorted_ids() == brute_force_answer(
+            objects, query.rect, 0.4
+        )

@@ -1,0 +1,191 @@
+"""Tests for probabilistic nearest-neighbour search on U-trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nn import (
+    _maxdist,
+    _mindist,
+    expected_nearest_neighbors,
+    probabilistic_nearest_neighbors,
+)
+from repro.core.utree import UTree
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+from tests.conftest import make_mixed_objects, make_uniform_ball_object
+
+
+def brute_force_nn_probabilities(objects, point, rounds=20_000, seed=0):
+    """Ground-truth joint Monte-Carlo over ALL objects (no filtering)."""
+    point = np.asarray(point, dtype=float)
+    distances = np.empty((rounds, len(objects)))
+    for col, obj in enumerate(objects):
+        rng = np.random.default_rng((seed, obj.oid))
+        samples = obj.region.sample(rounds, rng)
+        distances[:, col] = np.linalg.norm(samples - point, axis=1)
+    winners = np.argmin(distances, axis=1)
+    counts = np.bincount(winners, minlength=len(objects))
+    return {obj.oid: counts[col] / rounds for col, obj in enumerate(objects)}
+
+
+class TestDistances:
+    def test_mindist(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        assert _mindist(np.array([1.0, 1.0]), lo, hi) == 0.0
+        assert _mindist(np.array([5.0, 1.0]), lo, hi) == pytest.approx(3.0)
+        assert _mindist(np.array([5.0, 6.0]), lo, hi) == pytest.approx(5.0)
+
+    def test_maxdist(self):
+        lo, hi = np.array([0.0, 0.0]), np.array([2.0, 2.0])
+        assert _maxdist(np.array([1.0, 1.0]), lo, hi) == pytest.approx(np.sqrt(2))
+        assert _maxdist(np.array([0.0, 0.0]), lo, hi) == pytest.approx(np.sqrt(8))
+
+    def test_mindist_below_maxdist(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            lo = rng.uniform(0, 10, 2)
+            hi = lo + rng.uniform(0.1, 5, 2)
+            p = rng.uniform(-5, 15, 2)
+            assert _mindist(p, lo, hi) <= _maxdist(p, lo, hi) + 1e-12
+
+
+class TestProbabilisticNN:
+    @pytest.fixture(scope="class")
+    def tree_and_objects(self):
+        objects = make_mixed_objects(50, seed=91)
+        tree = UTree(2, estimator=AppearanceEstimator(n_samples=10_000, seed=42))
+        for obj in objects:
+            tree.insert(obj)
+        return tree, objects
+
+    def test_probabilities_sum_to_one(self, tree_and_objects):
+        tree, __ = tree_and_objects
+        result = probabilistic_nearest_neighbors(tree, [5000.0, 5000.0], rounds=3000, seed=1)
+        assert result.candidates
+        assert sum(c.probability for c in result.candidates) == pytest.approx(1.0)
+
+    def test_sorted_by_probability(self, tree_and_objects):
+        tree, __ = tree_and_objects
+        result = probabilistic_nearest_neighbors(tree, [3000.0, 6000.0], rounds=2000, seed=2)
+        probs = [c.probability for c in result.candidates]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_obvious_winner(self):
+        """One object right at the query point must dominate."""
+        objects = [make_uniform_ball_object(0, [100.0, 100.0], radius=10.0)]
+        objects += [
+            make_uniform_ball_object(i, [100.0 + 500.0 * i, 100.0], radius=10.0)
+            for i in range(1, 6)
+        ]
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        result = probabilistic_nearest_neighbors(tree, [100.0, 100.0], rounds=500, seed=3)
+        assert result.best().oid == 0
+        assert result.best().probability == pytest.approx(1.0)
+
+    def test_symmetric_tie(self):
+        """Two identical objects equidistant from q split the probability."""
+        objects = [
+            make_uniform_ball_object(0, [0.0, 100.0], radius=20.0),
+            make_uniform_ball_object(1, [200.0, 100.0], radius=20.0),
+        ]
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        result = probabilistic_nearest_neighbors(tree, [100.0, 100.0], rounds=8000, seed=4)
+        probs = {c.oid: c.probability for c in result.candidates}
+        assert probs[0] == pytest.approx(0.5, abs=0.03)
+        assert probs[1] == pytest.approx(0.5, abs=0.03)
+
+    def test_matches_unfiltered_ground_truth(self, tree_and_objects):
+        """Filtering must not change the distribution (same seed streams)."""
+        tree, objects = tree_and_objects
+        point = [4500.0, 4500.0]
+        result = probabilistic_nearest_neighbors(tree, point, rounds=20_000, seed=5)
+        truth = brute_force_nn_probabilities(objects, point, rounds=20_000, seed=5)
+        for cand in result.candidates:
+            assert cand.probability == pytest.approx(truth[cand.oid], abs=0.02)
+        # Objects the filter dropped must have (near-)zero truth mass.
+        kept = {c.oid for c in result.candidates}
+        for oid, p in truth.items():
+            if oid not in kept:
+                assert p < 0.01
+
+    def test_filter_prunes_nodes(self, tree_and_objects):
+        tree, __ = tree_and_objects
+        result = probabilistic_nearest_neighbors(tree, [2000.0, 2000.0], rounds=200, seed=6)
+        assert result.node_accesses < tree.engine.node_count
+        assert result.objects_examined <= len(tree)
+
+    def test_qualifying_threshold(self, tree_and_objects):
+        tree, __ = tree_and_objects
+        result = probabilistic_nearest_neighbors(tree, [5000.0, 5000.0], rounds=2000, seed=7)
+        strong = result.qualifying(0.25)
+        assert all(c.probability >= 0.25 for c in strong)
+        assert len(strong) <= len(result.candidates)
+
+    def test_empty_tree(self):
+        tree = UTree(2)
+        result = probabilistic_nearest_neighbors(tree, [0.0, 0.0])
+        assert result.candidates == []
+        assert result.best() is None
+
+    def test_validation(self, tree_and_objects):
+        tree, __ = tree_and_objects
+        with pytest.raises(ValueError):
+            probabilistic_nearest_neighbors(tree, [0.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            probabilistic_nearest_neighbors(tree, [0.0, 0.0], rounds=0)
+
+
+class TestExpectedDistanceNN:
+    def test_ranking(self):
+        objects = [
+            make_uniform_ball_object(i, [100.0 + 300.0 * i, 100.0], radius=20.0)
+            for i in range(5)
+        ]
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        result = expected_nearest_neighbors(tree, [100.0, 100.0], k=3, rounds=2000, seed=8)
+        assert [c.oid for c in result.candidates] == [0, 1, 2][: len(result.candidates)]
+        dists = [c.expected_distance for c in result.candidates]
+        assert dists == sorted(dists)
+
+    def test_k_validation(self):
+        tree = UTree(2)
+        tree.insert(make_uniform_ball_object(0, [0.0, 0.0]))
+        with pytest.raises(ValueError):
+            expected_nearest_neighbors(tree, [0.0, 0.0], k=0)
+
+    def test_expected_distance_reasonable(self):
+        """E[dist] to a centred ball from far away ~ centre distance."""
+        tree = UTree(2)
+        tree.insert(make_uniform_ball_object(0, [1000.0, 0.0], radius=50.0))
+        result = expected_nearest_neighbors(tree, [0.0, 0.0], k=1, rounds=4000, seed=9)
+        assert result.candidates[0].expected_distance == pytest.approx(1000.0, rel=0.02)
+
+
+class TestNonUniformPdfNN:
+    def test_gaussian_object_beats_uniform_twin(self):
+        """A Con-Gau object concentrated near q should win more often than
+        a same-region uniform object slightly farther on average."""
+        from repro.uncertainty.pdfs import ConstrainedGaussianDensity
+
+        region_a = BallRegion(np.array([100.0, 0.0]), 80.0)
+        region_b = BallRegion(np.array([-100.0, 0.0]), 80.0)
+        a = UncertainObject(0, ConstrainedGaussianDensity(region_a, sigma=15.0, marginal_seed=0))
+        b = UncertainObject(1, UniformDensity(region_b, marginal_seed=1))
+        tree = UTree(2)
+        tree.insert(a)
+        tree.insert(b)
+        # q sits at a's mean: a's mass concentrates at distance ~0-30,
+        # b's spreads over 20-180.
+        result = probabilistic_nearest_neighbors(tree, [100.0, 0.0], rounds=6000, seed=10)
+        probs = {c.oid: c.probability for c in result.candidates}
+        assert probs[0] > 0.9

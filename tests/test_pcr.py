@@ -1,0 +1,125 @@
+"""Tests for probabilistically constrained regions (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catalog import UCatalog
+from repro.core.pcr import PCRSet, compute_pcrs
+from repro.geometry.rect import Rect
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BoxRegion
+from tests.conftest import make_congau_ball_object, make_histogram_box_object, make_uniform_ball_object
+
+
+class TestPCRSet:
+    def test_validation(self, catalog):
+        mbr = Rect([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            PCRSet(catalog, np.zeros((2, 2, 2)), mbr)  # wrong m
+        with pytest.raises(ValueError):
+            PCRSet(catalog, np.zeros((catalog.size, 2, 3)), mbr)  # dim mismatch
+
+    def test_accessors(self, catalog):
+        obj = make_uniform_ball_object(0, [100.0, 100.0], radius=10.0)
+        pcrs = compute_pcrs(obj, catalog)
+        assert pcrs.dim == 2
+        box0 = pcrs.box(0)
+        assert box0.approx_equals(obj.mbr)
+        assert pcrs.lower(0, 0) == pytest.approx(90.0)
+        assert pcrs.upper(0, 1) == pytest.approx(110.0)
+        assert pcrs.profile().shape == (catalog.size, 2, 2)
+
+
+class TestComputePCRs:
+    def test_uniform_box_exact_quantiles(self, catalog):
+        """For a uniform box pdf, pcr planes are linear in p."""
+        region = BoxRegion(Rect([0.0, 0.0], [10.0, 20.0]))
+        obj = UncertainObject(1, UniformDensity(region))
+        pcrs = compute_pcrs(obj, catalog)
+        for j, p in enumerate(catalog):
+            assert pcrs.lower(j, 0) == pytest.approx(10.0 * p, abs=1e-9)
+            assert pcrs.upper(j, 0) == pytest.approx(10.0 * (1 - p), abs=1e-9)
+            assert pcrs.lower(j, 1) == pytest.approx(20.0 * p, abs=1e-9)
+
+    def test_zero_value_gives_mbr(self, catalog):
+        obj = make_congau_ball_object(2, [50.0, 50.0])
+        pcrs = compute_pcrs(obj, catalog)
+        assert pcrs.box(0).approx_equals(obj.mbr)
+
+    def test_half_degenerates_to_point(self, catalog):
+        """pcr(0.5) collapses to the coordinate-wise median."""
+        obj = make_uniform_ball_object(3, [500.0, 500.0])
+        pcrs = compute_pcrs(obj, catalog)
+        top = pcrs.box(catalog.size - 1)  # p = 0.5
+        assert np.allclose(top.lo, top.hi, atol=1e-6)
+        assert np.allclose(top.center, [500.0, 500.0], atol=1e-3)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [make_uniform_ball_object, make_congau_ball_object, make_histogram_box_object],
+    )
+    def test_nesting_for_every_pdf_family(self, factory, paper_catalog):
+        obj = factory(7, [1000.0, 2000.0])
+        pcrs = compute_pcrs(obj, paper_catalog)
+        assert pcrs.is_nested()
+
+    def test_nesting_strict_check_catches_violation(self, catalog):
+        obj = make_uniform_ball_object(4, [0.0, 0.0])
+        pcrs = compute_pcrs(obj, catalog)
+        broken = pcrs.boxes.copy()
+        broken[2, 0, 0] = broken[1, 0, 0] - 1.0  # widen an inner layer
+        assert not PCRSet(catalog, broken, pcrs.mbr).is_nested()
+
+    def test_planes_inside_mbr(self, paper_catalog):
+        obj = make_congau_ball_object(5, [300.0, 300.0])
+        pcrs = compute_pcrs(obj, paper_catalog)
+        for j in range(paper_catalog.size):
+            assert obj.mbr.contains(pcrs.box(j))
+
+    def test_probability_semantics_uniform_ball(self, paper_catalog, estimator):
+        """The defining property: mass left of pcr_i-(p) equals p.
+
+        Checked by Monte-Carlo against the uniform-ball object.
+        """
+        obj = make_uniform_ball_object(6, [100.0, 100.0], radius=10.0)
+        pcrs = compute_pcrs(obj, paper_catalog)
+        mbr = obj.mbr
+        for j in (3, 7, 11):
+            p = paper_catalog[j]
+            plane = pcrs.lower(j, 0)
+            left = Rect([mbr.lo[0] - 1, mbr.lo[1] - 1], [plane, mbr.hi[1] + 1])
+            mass = estimator.estimate(obj.pdf, left, object_id=obj.oid)
+            assert mass == pytest.approx(p, abs=0.02)
+
+    def test_probability_semantics_histogram(self, paper_catalog, estimator):
+        obj = make_histogram_box_object(8, [100.0, 100.0])
+        pcrs = compute_pcrs(obj, paper_catalog)
+        mbr = obj.mbr
+        j = 7
+        p = paper_catalog[j]
+        plane = pcrs.upper(j, 1)
+        above = Rect([mbr.lo[0] - 1, plane], [mbr.hi[0] + 1, mbr.hi[1] + 1])
+        mass = estimator.estimate(obj.pdf, above, object_id=obj.oid)
+        assert mass == pytest.approx(p, abs=0.03)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_nesting_randomised(self, seed):
+        rng = np.random.default_rng(seed)
+        centre = rng.uniform(0, 1000, 2)
+        kind = seed % 3
+        if kind == 0:
+            obj = make_uniform_ball_object(seed, centre)
+        elif kind == 1:
+            obj = make_congau_ball_object(seed, centre)
+        else:
+            obj = make_histogram_box_object(seed, centre)
+        catalog = UCatalog.evenly_spaced(int(rng.integers(2, 12)))
+        pcrs = compute_pcrs(obj, catalog)
+        assert pcrs.is_nested()
+        assert obj.mbr.contains(pcrs.box(0))

@@ -1,0 +1,272 @@
+"""Tests for the pruning/validation rules (Observations 1-4).
+
+The critical property: a *prune* verdict must never hide a true result and
+a *validate* verdict must never report a false one.  We check both engines
+(exact PCRs and CFBs) against Monte-Carlo ground truth across pdf
+families, query sizes and thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.cfb import fit_cfbs
+from repro.core.pcr import compute_pcrs
+from repro.core.pruning import CFBRules, PCRRules, Verdict, covers_band, subtree_may_qualify
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import (
+    make_congau_ball_object,
+    make_histogram_box_object,
+    make_uniform_ball_object,
+)
+
+# A slack band around the threshold: Monte-Carlo ground truth is itself an
+# estimate, so verdicts are only checked when the true probability is
+# clearly on one side.
+MARGIN = 0.03
+
+
+class TestCoversBand:
+    def setup_method(self):
+        self.mbr = Rect([0.0, 0.0], [10.0, 10.0])
+
+    def test_band_fully_covered(self):
+        query = Rect([-1.0, -1.0], [11.0, 11.0])
+        assert covers_band(query, self.mbr, 0, 2.0, 8.0)
+
+    def test_fails_when_other_axis_uncovered(self):
+        query = Rect([-1.0, 1.0], [11.0, 11.0])  # misses y in [0, 1)
+        assert not covers_band(query, self.mbr, 0, 2.0, 8.0)
+
+    def test_fails_when_band_uncovered_on_axis(self):
+        query = Rect([3.0, -1.0], [11.0, 11.0])  # band starts at 2
+        assert not covers_band(query, self.mbr, 0, 2.0, 8.0)
+
+    def test_band_clipped_to_mbr(self):
+        query = Rect([-1.0, -1.0], [5.0, 11.0])
+        # Band extends beyond the MBR; only [0, 5] matters.
+        assert covers_band(query, self.mbr, 0, -math.inf, 5.0)
+
+    def test_empty_band_is_not_covered(self):
+        query = Rect([-1.0, -1.0], [11.0, 11.0])
+        assert not covers_band(query, self.mbr, 0, 12.0, math.inf)
+        assert not covers_band(query, self.mbr, 0, 8.0, 2.0)
+
+    def test_half_open_bands(self):
+        query = Rect([4.0, -1.0], [11.0, 11.0])
+        assert covers_band(query, self.mbr, 0, 4.0, math.inf)
+        assert not covers_band(query, self.mbr, 0, 3.0, math.inf)
+
+    def test_3d(self):
+        mbr = Rect([0, 0, 0], [4, 4, 4])
+        query = Rect([-1, -1, 1], [5, 5, 5])
+        assert covers_band(query, mbr, 2, 2.0, math.inf)
+        assert not covers_band(query, mbr, 0, 2.0, math.inf)
+
+
+def make_object(seed: int):
+    rng = np.random.default_rng(seed)
+    centre = rng.uniform(1000, 9000, 2)
+    kind = seed % 3
+    if kind == 0:
+        return make_uniform_ball_object(seed, centre)
+    if kind == 1:
+        return make_congau_ball_object(seed, centre)
+    return make_histogram_box_object(seed, centre)
+
+
+def queries_around(obj, rng, count=14):
+    """Queries with assorted overlap against the object."""
+    mbr = obj.mbr
+    half_extent = mbr.extent.max() / 2.0
+    out = []
+    for _ in range(count):
+        size = rng.uniform(0.3, 4.0) * half_extent
+        offset = rng.uniform(-1.8, 1.8, size=2) * half_extent
+        out.append(Rect.from_center(mbr.center + offset, size))
+    return out
+
+
+def _check_engine_against_truth(engine_factory, seeds, thresholds):
+    estimator = AppearanceEstimator(n_samples=60_000, seed=17)
+    stats = {"validated": 0, "pruned": 0, "candidate": 0}
+    for seed in seeds:
+        obj = make_object(seed)
+        rules = engine_factory(obj)
+        rng = np.random.default_rng(1000 + seed)
+        for query in queries_around(obj, rng):
+            truth = estimator.estimate(obj.pdf, query, object_id=obj.oid)
+            for pq in thresholds:
+                verdict = rules(query, pq)
+                if verdict is Verdict.PRUNED:
+                    stats["pruned"] += 1
+                    assert truth < pq + MARGIN, (
+                        f"pruned object with P_app={truth:.3f} >= pq={pq}"
+                    )
+                elif verdict is Verdict.VALIDATED:
+                    stats["validated"] += 1
+                    assert truth > pq - MARGIN, (
+                        f"validated object with P_app={truth:.3f} < pq={pq}"
+                    )
+                else:
+                    stats["candidate"] += 1
+    return stats
+
+
+class TestPCRRulesSoundness:
+    def test_sound_and_effective(self, paper_catalog):
+        thresholds = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+        def factory(obj):
+            pcrs = compute_pcrs(obj, paper_catalog)
+            engine = PCRRules(pcrs)
+            return lambda q, pq: engine.apply(q, pq)
+
+        stats = _check_engine_against_truth(factory, range(9), thresholds)
+        total = sum(stats.values())
+        # The rules must actually do something: most decisions avoid P_app.
+        assert (stats["pruned"] + stats["validated"]) > 0.5 * total
+
+    def test_rejects_bad_threshold(self, paper_catalog):
+        obj = make_object(0)
+        engine = PCRRules(compute_pcrs(obj, paper_catalog))
+        with pytest.raises(ValueError):
+            engine.apply(Rect([0, 0], [1, 1]), 0.0)
+        with pytest.raises(ValueError):
+            engine.apply(Rect([0, 0], [1, 1]), 1.5)
+
+
+class TestCFBRulesSoundness:
+    def test_sound_and_effective(self, paper_catalog):
+        thresholds = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+        def factory(obj):
+            pcrs = compute_pcrs(obj, paper_catalog)
+            outer, inner = fit_cfbs(pcrs)
+            engine = CFBRules(paper_catalog, outer, inner)
+            mbr = obj.mbr
+            return lambda q, pq: engine.apply(mbr, q, pq)
+
+        stats = _check_engine_against_truth(factory, range(9), thresholds)
+        total = sum(stats.values())
+        assert (stats["pruned"] + stats["validated"]) > 0.4 * total
+
+    def test_cfb_never_stronger_than_pcr_pruning(self, paper_catalog):
+        """CFB verdicts are conservative relaxations of PCR verdicts:
+        whenever CFB prunes, PCR must also prune (Observation 3 is weaker)."""
+        for seed in range(6):
+            obj = make_object(seed)
+            pcrs = compute_pcrs(obj, paper_catalog)
+            outer, inner = fit_cfbs(pcrs)
+            pcr_engine = PCRRules(pcrs)
+            cfb_engine = CFBRules(paper_catalog, outer, inner)
+            rng = np.random.default_rng(2000 + seed)
+            for query in queries_around(obj, rng, count=10):
+                for pq in (0.2, 0.5, 0.8):
+                    cfb_v = cfb_engine.apply(obj.mbr, query, pq)
+                    pcr_v = pcr_engine.apply(query, pq)
+                    if cfb_v is Verdict.PRUNED:
+                        assert pcr_v is Verdict.PRUNED
+                    if cfb_v is Verdict.VALIDATED:
+                        assert pcr_v in (Verdict.VALIDATED, Verdict.CANDIDATE)
+
+
+class TestSpecificRules:
+    """Reconstruct Figure 3/4-style situations with a uniform box object."""
+
+    def _engine(self):
+        from repro.uncertainty.pdfs import UniformDensity
+        from repro.uncertainty.regions import BoxRegion
+        from repro.uncertainty.objects import UncertainObject
+
+        # Uniform on [0,10]^2: pcr(p) = [10p, 10(1-p)]^2 exactly.
+        region = BoxRegion(Rect([0.0, 0.0], [10.0, 10.0]))
+        obj = UncertainObject(50, UniformDensity(region))
+        catalog = UCatalog([0.0, 0.1, 0.25, 0.4, 0.5])
+        return PCRRules(compute_pcrs(obj, catalog)), obj.mbr
+
+    def test_rule1_prunes_high_threshold(self):
+        engine, mbr = self._engine()
+        # Query misses pcr(0.25) = [2.5, 7.5]^2 partially; pq = 0.75 needs
+        # rq ⊇ pcr(0.25).
+        query = Rect([3.0, -1.0], [11.0, 11.0])
+        assert engine.apply(query, 0.76) is Verdict.PRUNED
+
+    def test_rule2_prunes_low_threshold(self):
+        engine, mbr = self._engine()
+        # Query entirely right of pcr(0.1) = [1,9]^2's upper x-plane.
+        query = Rect([9.5, 0.0], [12.0, 10.0])
+        assert engine.apply(query, 0.1) is Verdict.PRUNED
+
+    def test_rule3_validates_central_slab(self):
+        engine, mbr = self._engine()
+        # rq covers x in [1, 9] fully and all of y: mass >= 1 - 2*0.1 = 0.8.
+        # (pq = 0.79 keeps (1 - pq)/2 safely above the 0.1 catalog value;
+        # at exactly 0.8 floating point lands at 0.0999... and the engine
+        # conservatively falls back to the p = 0 slab.)
+        query = Rect([0.9, -0.5], [9.1, 10.5])
+        assert engine.apply(query, 0.79) is Verdict.VALIDATED
+
+    def test_rule4_validates_high_threshold(self):
+        engine, mbr = self._engine()
+        # rq covers everything right of x = 1 (pcr_0-(0.1)): mass 0.9.
+        query = Rect([0.9, -0.5], [10.5, 10.5])
+        assert engine.apply(query, 0.88) is Verdict.VALIDATED
+
+    def test_rule5_validates_low_threshold(self):
+        engine, mbr = self._engine()
+        # rq covers everything left of x = 2.5 (pcr_0-(0.25)): mass 0.25.
+        query = Rect([-0.5, -0.5], [2.6, 10.5])
+        assert engine.apply(query, 0.25) is Verdict.VALIDATED
+
+    def test_candidate_when_rules_inconclusive(self):
+        engine, mbr = self._engine()
+        query = Rect([2.0, 2.0], [6.0, 6.0])  # interior box, partial overlap
+        assert engine.apply(query, 0.2) is Verdict.CANDIDATE
+
+
+class TestSubtreePruning:
+    def test_intersecting_subtree_visited(self, catalog):
+        boxes = [Rect([0, 0], [10, 10]), Rect([2, 2], [8, 8])]
+
+        def box_at(j):
+            return boxes[min(j, 1)]
+
+        assert subtree_may_qualify(catalog, box_at, Rect([5, 5], [6, 6]), 0.3)
+
+    def test_disjoint_subtree_pruned(self, catalog):
+        def box_at(j):
+            return Rect([0, 0], [1, 1])
+
+        assert not subtree_may_qualify(catalog, box_at, Rect([5, 5], [6, 6]), 0.3)
+
+    def test_selects_largest_value_at_most_pq(self, catalog):
+        """Higher pq selects a deeper (smaller) box: more pruning."""
+        calls = []
+
+        def box_at(j):
+            calls.append(j)
+            return Rect([0, 0], [1, 1])
+
+        subtree_may_qualify(catalog, box_at, Rect([5, 5], [6, 6]), 0.42)
+        # catalog = [0, .1, .25, .4, .5]; largest <= 0.42 is index 3.
+        assert calls == [3]
+
+    def test_pq_above_all_values_uses_top(self, catalog):
+        calls = []
+
+        def box_at(j):
+            calls.append(j)
+            return Rect([0, 0], [1, 1])
+
+        subtree_may_qualify(catalog, box_at, Rect([5, 5], [6, 6]), 0.99)
+        assert calls == [4]
+
+    def test_rejects_bad_threshold(self, catalog):
+        with pytest.raises(ValueError):
+            subtree_may_qualify(catalog, lambda j: Rect([0, 0], [1, 1]), Rect([0, 0], [1, 1]), 0.0)

@@ -1,0 +1,115 @@
+"""Tests for query types and the shared refinement step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
+from repro.core.stats import QueryStats, WorkloadStats
+from repro.geometry.rect import Rect
+from repro.storage.pager import DataFile
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import make_uniform_ball_object
+
+
+class TestProbRangeQuery:
+    def test_basic(self):
+        q = ProbRangeQuery(Rect([0, 0], [1, 1]), 0.5)
+        assert q.dim == 2
+        assert q.threshold == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.1])
+    def test_rejects_bad_threshold(self, bad):
+        with pytest.raises(ValueError):
+            ProbRangeQuery(Rect([0, 0], [1, 1]), bad)
+
+    def test_threshold_one_allowed(self):
+        assert ProbRangeQuery(Rect([0, 0], [1, 1]), 1.0).threshold == 1.0
+
+
+class TestQueryAnswer:
+    def test_contains_and_sorted(self):
+        answer = QueryAnswer(object_ids=[3, 1, 2])
+        assert 2 in answer
+        assert 9 not in answer
+        assert answer.sorted_ids() == [1, 2, 3]
+
+
+class TestRefinement:
+    def _setup(self, n_objects=6, page_size=64):
+        """Objects packed ~2 per data page (tiny pages force grouping)."""
+        data_file = DataFile(page_size=page_size)
+        objects = []
+        candidates = []
+        for i in range(n_objects):
+            obj = make_uniform_ball_object(i, [100.0 * i + 50.0, 50.0], radius=20.0)
+            addr = data_file.append(obj, 30)
+            objects.append(obj)
+            candidates.append((obj.oid, addr))
+        return data_file, objects, candidates
+
+    def test_refinement_correct(self):
+        data_file, objects, candidates = self._setup()
+        # Query covering only the first object's region entirely.
+        query = ProbRangeQuery(Rect([0.0, 0.0], [100.0, 100.0]), 0.9)
+        stats = QueryStats()
+        results: list[int] = []
+        refine_candidates(
+            candidates, query, data_file, AppearanceEstimator(5000, seed=1), stats, results
+        )
+        assert sorted(results) == [0]
+        assert stats.prob_computations == len(candidates)
+
+    def test_groups_by_page(self):
+        data_file, objects, candidates = self._setup()
+        query = ProbRangeQuery(Rect([0, 0], [1000, 1000]), 0.1)
+        stats = QueryStats()
+        results: list[int] = []
+        refine_candidates(
+            candidates, query, data_file, AppearanceEstimator(2000, seed=2), stats, results
+        )
+        # 6 records, ~2 per page -> 3 pages, strictly fewer reads than candidates.
+        assert stats.data_page_reads == data_file.page_count
+        assert stats.data_page_reads < len(candidates)
+
+    def test_no_candidates_no_io(self):
+        data_file, __, __c = self._setup()
+        stats = QueryStats()
+        results: list[int] = []
+        refine_candidates(
+            [], ProbRangeQuery(Rect([0, 0], [1, 1]), 0.5), data_file,
+            AppearanceEstimator(1000), stats, results
+        )
+        assert stats.data_page_reads == 0
+        assert results == []
+
+
+class TestStats:
+    def test_query_stats_properties(self):
+        stats = QueryStats(
+            node_accesses=5, data_page_reads=2, prob_computations=3,
+            validated_directly=4, result_count=6,
+        )
+        assert stats.total_io == 7
+        assert stats.validated_fraction == pytest.approx(4 / 6)
+        assert QueryStats().validated_fraction == 0.0
+
+    def test_workload_aggregation(self):
+        ws = WorkloadStats()
+        ws.add(QueryStats(node_accesses=10, prob_computations=4, result_count=5,
+                          validated_directly=3, wall_seconds=0.1))
+        ws.add(QueryStats(node_accesses=20, prob_computations=0, result_count=5,
+                          validated_directly=5, wall_seconds=0.3))
+        assert ws.count == 2
+        assert ws.avg_node_accesses == 15.0
+        assert ws.avg_prob_computations == 2.0
+        assert ws.avg_wall_seconds == pytest.approx(0.2)
+        assert ws.validated_percentage == pytest.approx(80.0)
+        summary = ws.summary()
+        assert summary["queries"] == 2.0
+        assert summary["validated_percentage"] == pytest.approx(80.0)
+
+    def test_empty_workload(self):
+        ws = WorkloadStats()
+        assert ws.avg_node_accesses == 0.0
+        assert ws.validated_percentage == 0.0

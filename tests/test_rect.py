@@ -1,0 +1,217 @@
+"""Unit and property tests for hyper-rectangle geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import (
+    Rect,
+    profile_area,
+    profile_centroid_distance,
+    profile_contains_profile,
+    profile_margin,
+    profile_overlap,
+    profile_union,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw, dim=2):
+    lo = np.array([draw(coords) for _ in range(dim)])
+    extent = np.array(
+        [draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False)) for _ in range(dim)]
+    )
+    return Rect(lo, lo + extent)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.dim == 2
+        assert r.area() == 6.0
+        assert r.margin() == 5.0
+        assert np.allclose(r.center, [1.0, 1.5])
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect([1, 0], [0, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect([], [])
+
+    def test_degenerate_allowed(self):
+        r = Rect.from_point([5, 5])
+        assert r.area() == 0.0
+        assert r.contains_point([5, 5])
+
+    def test_from_center(self):
+        r = Rect.from_center([10, 10], 2.5)
+        assert r == Rect([7.5, 7.5], [12.5, 12.5])
+
+    def test_from_center_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Rect.from_center([0, 0], -1.0)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0.5])])
+        assert r == Rect([0, -1], [3, 1])
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Rect([0, 0], [2, 2]).intersects(Rect([1, 1], [3, 3]))
+
+    def test_intersects_touching_edge(self):
+        assert Rect([0, 0], [1, 1]).intersects(Rect([1, 0], [2, 1]))
+
+    def test_disjoint(self):
+        assert not Rect([0, 0], [1, 1]).intersects(Rect([2, 0], [3, 1]))
+
+    def test_contains(self):
+        outer = Rect([0, 0], [10, 10])
+        assert outer.contains(Rect([1, 1], [9, 9]))
+        assert outer.contains(outer)
+        assert not Rect([1, 1], [9, 9]).contains(outer)
+
+    def test_contains_points_vectorised(self):
+        r = Rect([0, 0], [1, 1])
+        pts = np.array([[0.5, 0.5], [1.5, 0.5], [0.0, 1.0]])
+        assert r.contains_points(pts).tolist() == [True, False, True]
+
+
+# ----------------------------------------------------------------------
+# combinations
+# ----------------------------------------------------------------------
+
+class TestCombinations:
+    def test_union(self):
+        u = Rect([0, 0], [1, 1]).union(Rect([2, 2], [3, 3]))
+        assert u == Rect([0, 0], [3, 3])
+
+    def test_intersection_some(self):
+        inter = Rect([0, 0], [2, 2]).intersection(Rect([1, 1], [3, 3]))
+        assert inter == Rect([1, 1], [2, 2])
+
+    def test_intersection_none(self):
+        assert Rect([0, 0], [1, 1]).intersection(Rect([2, 2], [3, 3])) is None
+
+    def test_overlap_area(self):
+        assert Rect([0, 0], [2, 2]).overlap_area(Rect([1, 1], [3, 3])) == 1.0
+        assert Rect([0, 0], [1, 1]).overlap_area(Rect([5, 5], [6, 6])) == 0.0
+
+    def test_centroid_distance(self):
+        # centres (1,1) and (4,2): distance sqrt(10)
+        assert Rect([0, 0], [2, 2]).centroid_distance(Rect([3, 1], [5, 3])) == pytest.approx(10**0.5)
+
+    def test_enlargement(self):
+        base = Rect([0, 0], [1, 1])
+        assert base.enlargement(Rect([0, 0], [1, 1])) == 0.0
+        assert base.enlargement(Rect([0, 0], [2, 1])) == pytest.approx(1.0)
+
+    def test_expanded(self):
+        grown = Rect([0, 0], [1, 1]).expanded(1.0)
+        assert grown == Rect([-1, -1], [2, 2])
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+
+class TestProperties:
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        ov = a.overlap_area(b)
+        assert ov == pytest.approx(b.overlap_area(a))
+        assert ov <= min(a.area(), b.area()) + 1e-6 * max(1.0, a.area(), b.area())
+
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_intersection_consistent_with_predicate(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(rects())
+    @settings(max_examples=60)
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9 * max(1.0, a.area())
+
+
+# ----------------------------------------------------------------------
+# profiles
+# ----------------------------------------------------------------------
+
+def _profile(*rect_list):
+    return np.stack([r.as_array() for r in rect_list])
+
+
+class TestProfiles:
+    def test_area_and_margin_sum_layers(self):
+        p = _profile(Rect([0, 0], [2, 2]), Rect([0, 0], [1, 1]))
+        assert profile_area(p) == 5.0
+        assert profile_margin(p) == 6.0
+
+    def test_overlap_layerwise(self):
+        a = _profile(Rect([0, 0], [2, 2]), Rect([0, 0], [2, 2]))
+        b = _profile(Rect([1, 1], [3, 3]), Rect([5, 5], [6, 6]))
+        assert profile_overlap(a, b) == 1.0
+
+    def test_union_layerwise(self):
+        a = _profile(Rect([0, 0], [1, 1]))
+        b = _profile(Rect([2, 2], [3, 3]))
+        u = profile_union(a, b)
+        assert Rect(u[0, 0], u[0, 1]) == Rect([0, 0], [3, 3])
+
+    def test_centroid_distance(self):
+        a = _profile(Rect([0, 0], [2, 2]))
+        b = _profile(Rect([3, 1], [5, 3]))
+        assert profile_centroid_distance(a, b) == pytest.approx(10**0.5)
+
+    def test_contains_profile(self):
+        outer = _profile(Rect([0, 0], [10, 10]), Rect([1, 1], [9, 9]))
+        inner = _profile(Rect([1, 1], [2, 2]), Rect([2, 2], [3, 3]))
+        assert profile_contains_profile(outer, inner)
+        assert not profile_contains_profile(inner, outer)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            profile_area(np.zeros((2, 3, 2)))

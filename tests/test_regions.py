@@ -1,0 +1,110 @@
+"""Tests for uncertainty regions: geometry, sampling, volumes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.regions import BallRegion, BoxRegion, unit_ball_volume
+
+
+class TestUnitBallVolume:
+    def test_known_values(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            unit_ball_volume(0)
+
+
+class TestBoxRegion:
+    def test_basic(self):
+        region = BoxRegion(Rect([0, 0], [4, 2]))
+        assert region.dim == 2
+        assert region.volume() == 8.0
+        assert region.mbr() == Rect([0, 0], [4, 2])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            BoxRegion(Rect([0, 0], [0, 1]))
+
+    def test_membership(self):
+        region = BoxRegion(Rect([0, 0], [1, 1]))
+        assert region.contains_point([0.5, 0.5])
+        assert not region.contains_point([1.5, 0.5])
+
+    def test_sampling_inside_and_uniform(self):
+        region = BoxRegion(Rect([2, 3], [4, 9]))
+        rng = np.random.default_rng(0)
+        pts = region.sample(4000, rng)
+        assert pts.shape == (4000, 2)
+        assert region.contains_points(pts).all()
+        # Mean should approach the centre.
+        assert np.allclose(pts.mean(axis=0), [3.0, 6.0], atol=0.15)
+
+    def test_sample_zero(self):
+        region = BoxRegion(Rect([0, 0], [1, 1]))
+        assert region.sample(0, np.random.default_rng(0)).shape == (0, 2)
+
+    def test_sample_negative_raises(self):
+        region = BoxRegion(Rect([0, 0], [1, 1]))
+        with pytest.raises(ValueError):
+            region.sample(-1, np.random.default_rng(0))
+
+
+class TestBallRegion:
+    def test_basic(self):
+        region = BallRegion([5, 5], 2.0)
+        assert region.dim == 2
+        assert region.volume() == pytest.approx(math.pi * 4.0)
+        assert region.mbr() == Rect([3, 3], [7, 7])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BallRegion([0, 0], 0.0)
+        with pytest.raises(ValueError):
+            BallRegion([0, 0], -1.0)
+        with pytest.raises(ValueError):
+            BallRegion([], 1.0)
+
+    def test_membership_boundary(self):
+        region = BallRegion([0, 0], 1.0)
+        assert region.contains_point([1.0, 0.0])
+        assert region.contains_point([0.0, 0.0])
+        assert not region.contains_point([0.8, 0.8])
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_sampling_inside(self, dim):
+        region = BallRegion(np.full(dim, 10.0), 3.0)
+        pts = region.sample(3000, np.random.default_rng(1))
+        assert pts.shape == (3000, dim)
+        assert region.contains_points(pts).all()
+
+    def test_sampling_uniform_radially(self):
+        """A uniform ball sample has E[r^2] = R^2 * d / (d + 2) in d dims."""
+        region = BallRegion([0.0, 0.0], 1.0)
+        pts = region.sample(30_000, np.random.default_rng(2))
+        r2 = np.sum(pts**2, axis=1)
+        assert r2.mean() == pytest.approx(2.0 / 4.0, abs=0.01)
+
+    def test_monte_carlo_volume(self):
+        """Sampled acceptance rate inside the MBR matches pi/4 (2-D)."""
+        region = BallRegion([0.0, 0.0], 1.0)
+        rng = np.random.default_rng(3)
+        box = rng.uniform(-1, 1, size=(40_000, 2))
+        frac = region.contains_points(box).mean()
+        assert frac == pytest.approx(math.pi / 4.0, abs=0.01)
+
+    @given(st.integers(min_value=1, max_value=4), st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_mbr_contains_samples(self, dim, radius):
+        region = BallRegion(np.zeros(dim), radius)
+        pts = region.sample(200, np.random.default_rng(4))
+        assert region.mbr().contains_points(pts).all()

@@ -1,0 +1,110 @@
+"""Tests for the classic R*-tree facade (precise rectangles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.rstar import RStarTree
+
+
+def random_items(rng, n, d=2):
+    items = []
+    for i in range(n):
+        lo = rng.uniform(0, 1000, d)
+        hi = lo + rng.uniform(0.5, 60, d)
+        items.append((Rect(lo, hi), i))
+    return items
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        items = random_items(rng, 300)
+        tree = RStarTree(2)
+        tree.bulk_insert(items)
+        tree.check_invariants()
+        for seed in range(10):
+            qrng = np.random.default_rng(100 + seed)
+            lo = qrng.uniform(0, 900, 2)
+            query = Rect(lo, lo + qrng.uniform(20, 300, 2))
+            found, accesses = tree.range_search(query)
+            assert sorted(found) == sorted(RStarTree.brute_force(items, query))
+            assert accesses >= 1
+
+    def test_empty_tree(self):
+        tree = RStarTree(2)
+        found, accesses = tree.range_search(Rect([0, 0], [1, 1]))
+        assert found == []
+        assert accesses == 1  # the (empty) root is read
+
+    def test_search_visits_fewer_nodes_than_full_scan(self):
+        rng = np.random.default_rng(1)
+        tree = RStarTree(2)
+        tree.bulk_insert(random_items(rng, 2000))
+        small_query = Rect([100, 100], [120, 120])
+        __, accesses = tree.range_search(small_query)
+        assert accesses < tree.engine.node_count / 3
+
+    def test_timed_search(self):
+        rng = np.random.default_rng(2)
+        tree = RStarTree(2)
+        tree.bulk_insert(random_items(rng, 100))
+        results, accesses, seconds = tree.timed_range_search(Rect([0, 0], [500, 500]))
+        assert seconds >= 0.0
+        assert accesses >= 1
+
+
+class TestUpdates:
+    def test_delete_then_search(self):
+        rng = np.random.default_rng(3)
+        items = random_items(rng, 150)
+        tree = RStarTree(2)
+        tree.bulk_insert(items)
+        removed = set()
+        for rect, i in items[:75]:
+            assert tree.delete(lambda d, i=i: d == i, rect)
+            removed.add(i)
+        tree.check_invariants()
+        everything = Rect([-10, -10], [2000, 2000])
+        found, __ = tree.range_search(everything)
+        assert sorted(found) == sorted(i for __, i in items if i not in removed)
+
+    def test_delete_nonexistent(self):
+        tree = RStarTree(2)
+        tree.insert(Rect([0, 0], [1, 1]), 0)
+        assert not tree.delete(lambda d: d == 5, Rect([0, 0], [1, 1]))
+
+    def test_3d(self):
+        rng = np.random.default_rng(4)
+        items = random_items(rng, 200, d=3)
+        tree = RStarTree(3)
+        tree.bulk_insert(items)
+        tree.check_invariants()
+        query = Rect([0, 0, 0], [400, 400, 400])
+        found, __ = tree.range_search(query)
+        assert sorted(found) == sorted(RStarTree.brute_force(items, query))
+
+    def test_all_rects_roundtrip(self):
+        tree = RStarTree(2)
+        rects = [Rect([i, i], [i + 1, i + 1]) for i in range(20)]
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        stored = tree.all_rects()
+        assert len(stored) == 20
+        assert set(map(hash, stored)) == set(map(hash, rects))
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=12, deadline=None)
+    def test_randomised_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        items = random_items(rng, int(rng.integers(10, 150)))
+        tree = RStarTree(2)
+        tree.bulk_insert(items)
+        lo = rng.uniform(0, 800, 2)
+        query = Rect(lo, lo + rng.uniform(10, 400, 2))
+        found, __ = tree.range_search(query)
+        assert sorted(found) == sorted(RStarTree.brute_force(items, query))

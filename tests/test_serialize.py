@@ -1,0 +1,162 @@
+"""Tests for U-tree persistence (save / load round trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.storage.serialize import (
+    SerializationError,
+    density_descriptor,
+    density_from_descriptor,
+    load_utree,
+    save_utree,
+)
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    Density,
+    MixtureDensity,
+    RadialExponentialDensity,
+    UniformDensity,
+    poisson_histogram,
+    zipf_histogram,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion
+from tests.conftest import make_mixed_objects
+
+
+class TestDensityDescriptors:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UniformDensity(BallRegion([1.0, 2.0], 3.0), marginal_seed=5),
+            lambda: UniformDensity(BoxRegion(Rect([0, 0], [4, 4])), marginal_seed=6),
+            lambda: ConstrainedGaussianDensity(
+                BallRegion([5.0, 5.0], 2.0), sigma=0.7, marginal_seed=7
+            ),
+            lambda: ConstrainedGaussianDensity(
+                BoxRegion(Rect([0, 0], [4, 4])), sigma=1.1, mean=[1.0, 3.0]
+            ),
+            lambda: zipf_histogram(BoxRegion(Rect([0, 0], [8, 8])), 4, seed=9),
+            lambda: poisson_histogram(BoxRegion(Rect([0, 0], [8, 8])), [2.0, 3.0], 8),
+            lambda: RadialExponentialDensity(
+                BallRegion([0.0, 0.0], 5.0), scale=1.5, marginal_seed=8
+            ),
+        ],
+    )
+    def test_round_trip_density_values(self, factory):
+        original = factory()
+        restored = density_from_descriptor(density_descriptor(original))
+        rng = np.random.default_rng(0)
+        pts = original.region.sample(500, rng)
+        assert np.allclose(original.density(pts), restored.density(pts))
+
+    def test_mixture_round_trip(self):
+        region = BallRegion([0.0, 0.0], 2.0)
+        mix = MixtureDensity(
+            [UniformDensity(region), ConstrainedGaussianDensity(region, sigma=0.5)],
+            weights=[0.3, 0.7],
+        )
+        restored = density_from_descriptor(density_descriptor(mix))
+        pts = region.sample(300, np.random.default_rng(1))
+        assert np.allclose(mix.density(pts), restored.density(pts))
+
+    def test_unknown_density_rejected(self):
+        class Custom(Density):
+            def density(self, points):
+                return np.ones(len(points))
+
+        with pytest.raises(SerializationError):
+            density_descriptor(Custom(BallRegion([0, 0], 1.0)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            density_from_descriptor({"kind": "cauchy", "region": {"kind": "ball"}})
+
+
+class TestTreeRoundTrip:
+    def test_saved_tree_answers_identically(self, tmp_path):
+        objects = make_mixed_objects(60, seed=101)
+        estimator = AppearanceEstimator(n_samples=20_000, seed=42)
+        tree = UTree(2, estimator=estimator)
+        for obj in objects:
+            tree.insert(obj)
+        path = tmp_path / "tree.npz"
+        save_utree(tree, path)
+
+        loaded = load_utree(path, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+        loaded.check_invariants()
+        assert len(loaded) == len(tree)
+
+        rng = np.random.default_rng(3)
+        for __ in range(8):
+            centre = rng.uniform(1000, 9000, 2)
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(300, 2500))),
+                float(rng.uniform(0.1, 0.9)),
+            )
+            assert loaded.query(query).sorted_ids() == tree.query(query).sorted_ids()
+
+    def test_loaded_tree_supports_updates(self, tmp_path):
+        objects = make_mixed_objects(30, seed=102)
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        path = tmp_path / "tree.npz"
+        save_utree(tree, path)
+
+        loaded = load_utree(path)
+        assert loaded.delete(objects[0].oid) is not None
+        extra = make_mixed_objects(5, seed=103)
+        for i, obj in enumerate(extra):
+            obj.oid += 1000  # type: ignore[misc]
+        for obj in extra:
+            loaded.insert(obj)
+        loaded.check_invariants()
+        assert len(loaded) == 34
+
+    def test_catalog_and_layout_preserved(self, tmp_path):
+        from repro.core.catalog import UCatalog
+
+        objects = make_mixed_objects(20, seed=104)
+        tree = UTree(2, UCatalog([0.0, 0.2, 0.5]), page_size=2048)
+        for obj in objects:
+            tree.insert(obj)
+        path = tmp_path / "tree.npz"
+        save_utree(tree, path)
+        loaded = load_utree(path)
+        assert loaded.catalog == tree.catalog
+        assert loaded.engine.layout.page_size == 2048
+
+    def test_empty_tree_round_trip(self, tmp_path):
+        tree = UTree(2)
+        path = tmp_path / "empty.npz"
+        save_utree(tree, path)
+        loaded = load_utree(path)
+        assert len(loaded) == 0
+        answer = loaded.query(ProbRangeQuery(Rect([0, 0], [1, 1]), 0.5))
+        assert answer.object_ids == []
+
+    def test_cfbs_restored_verbatim(self, tmp_path):
+        """No re-fitting on load: coefficients must match bit-for-bit."""
+        objects = make_mixed_objects(10, seed=105)
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        path = tmp_path / "tree.npz"
+        save_utree(tree, path)
+        loaded = load_utree(path)
+
+        original = {e.data.oid: e.data for e in tree.engine.leaf_entries()}
+        for entry in loaded.engine.leaf_entries():
+            rec = entry.data
+            ref = original[rec.oid]
+            assert np.array_equal(rec.outer.intercept, ref.outer.intercept)
+            assert np.array_equal(rec.outer.slope, ref.outer.slope)
+            assert np.array_equal(rec.inner.intercept, ref.inner.intercept)
+            assert np.array_equal(rec.inner.slope, ref.inner.slope)

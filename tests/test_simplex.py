@@ -1,0 +1,193 @@
+"""Tests for the two-phase simplex solver, with scipy as the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.lp.simplex import LPStatus, solve_lp
+
+
+class TestHandCases:
+    def test_simple_max(self):
+        # max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0 -> (1.6, 1.2)
+        res = solve_lp([1, 1], a_ub=[[1, 2], [3, 1]], b_ub=[4, 6], maximize=True)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.8)
+        assert np.allclose(res.x, [1.6, 1.2])
+
+    def test_simple_min(self):
+        # min x + y s.t. x + y >= 2 (as -x - y <= -2), x,y >= 0
+        res = solve_lp([1, 1], a_ub=[[-1, -1]], b_ub=[-2])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.0)
+
+    def test_equality(self):
+        res = solve_lp([1, 2], a_eq=[[1, 1]], b_eq=[3])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(3.0)
+        assert np.allclose(res.x, [3.0, 0.0])
+
+    def test_infeasible(self):
+        res = solve_lp([1], a_ub=[[1], [-1]], b_ub=[1, -3])
+        assert res.status == LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = solve_lp([1], maximize=True, bounds=[(0, None)])
+        assert res.status == LPStatus.UNBOUNDED
+
+    def test_free_variable(self):
+        # min x s.t. x >= -5 with x free -> -5.
+        res = solve_lp([1], a_ub=[[-1]], b_ub=[5], bounds=[(None, None)])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-5.0)
+
+    def test_upper_bounded_variable(self):
+        res = solve_lp([-1], bounds=[(0, 7)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(7.0)
+
+    def test_negative_lower_bound(self):
+        res = solve_lp([1], bounds=[(-3, 4)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(-3.0)
+
+    def test_upper_bound_only(self):
+        # max x with x <= 2 (no lower bound) -> 2.
+        res = solve_lp([1], bounds=[(None, 2)], maximize=True)
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_empty_bound_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp([1], bounds=[(2, 1)])
+
+    def test_degenerate_constraints(self):
+        # Redundant equality rows must not break phase 1.
+        res = solve_lp([1, 1], a_eq=[[1, 1], [2, 2]], b_eq=[2, 4])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(2.0)
+
+    def test_fixed_bounds(self):
+        res = solve_lp([3, 1], bounds=[(2, 2), (0, None)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.objective == pytest.approx(6.0)
+
+
+class TestCfbShapedProblems:
+    """The exact LP families the CFB fitting produces."""
+
+    def test_outer_lower_face(self):
+        ps = np.array([0.0, 0.1, 0.25, 0.4, 0.5])
+        targets = np.array([0.0, 1.0, 2.5, 3.5, 4.0])
+        m, total = len(ps), ps.sum()
+        rows = [[1.0, p] for p in ps]
+        res = solve_lp(
+            [m, total], a_ub=rows, b_ub=targets, bounds=[(None, None), (0, None)],
+            maximize=True,
+        )
+        assert res.is_optimal
+        a, b = res.x
+        assert np.all(a + b * ps <= targets + 1e-8)
+
+    def test_inner_coupled(self):
+        ps = np.array([0.0, 0.25, 0.5])
+        lo_t = np.array([0.0, 1.0, 2.0])
+        hi_t = np.array([4.0, 3.0, 2.0])
+        m, total = len(ps), ps.sum()
+        c = np.array([-m, -total, m, total])
+        rows, rhs = [], []
+        for j, p in enumerate(ps):
+            rows.append([-1.0, -p, 0.0, 0.0])
+            rhs.append(-lo_t[j])
+            rows.append([0.0, 0.0, 1.0, p])
+            rhs.append(hi_t[j])
+            rows.append([1.0, p, -1.0, -p])
+            rhs.append(0.0)
+        res = solve_lp(
+            c, a_ub=rows, b_ub=rhs,
+            bounds=[(None, None), (0, None), (None, None), (None, 0)],
+            maximize=True,
+        )
+        assert res.is_optimal
+        a_lo, b_lo, a_hi, b_hi = res.x
+        lo = a_lo + b_lo * ps
+        hi = a_hi + b_hi * ps
+        assert np.all(lo >= lo_t - 1e-8)
+        assert np.all(hi <= hi_t + 1e-8)
+        assert np.all(lo <= hi + 1e-8)
+
+
+def _random_lp(rng, n, m):
+    c = rng.uniform(-5, 5, n)
+    a = rng.uniform(-5, 5, (m, n))
+    # Make feasibility likely: b = A x0 + slack for a random non-negative x0.
+    x0 = rng.uniform(0, 3, n)
+    b = a @ x0 + rng.uniform(0.1, 3, m)
+    return c, a, b
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_feasible_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 8))
+        c, a, b = _random_lp(rng, n, m)
+
+        ours = solve_lp(c, a_ub=a, b_ub=b)
+        ref = linprog(c, A_ub=a, b_ub=b, bounds=[(0, None)] * n, method="highs")
+
+        if ref.status == 0:
+            assert ours.is_optimal, f"scipy optimal but we said {ours.status}"
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6, rel=1e-6)
+            # Our solution must be feasible.
+            assert np.all(a @ ours.x <= b + 1e-7)
+            assert np.all(ours.x >= -1e-9)
+        elif ref.status == 3:
+            assert ours.status == LPStatus.UNBOUNDED
+        elif ref.status == 2:
+            assert ours.status == LPStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_equalities(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 5))
+        c, a, b = _random_lp(rng, n, int(rng.integers(1, 4)))
+        x0 = rng.uniform(0, 2, n)
+        a_eq = rng.uniform(-2, 2, (1, n))
+        b_eq = a_eq @ x0
+
+        ours = solve_lp(c, a_ub=a, b_ub=b, a_eq=a_eq, b_eq=b_eq)
+        ref = linprog(
+            c, A_ub=a, b_ub=b, A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * n, method="highs"
+        )
+        if ref.status == 0:
+            assert ours.is_optimal
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6, rel=1e-6)
+        elif ref.status == 2:
+            assert ours.status == LPStatus.INFEASIBLE
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_free_variable_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 4))
+        m = int(rng.integers(2, 6))
+        c = rng.uniform(-3, 3, n)
+        a = rng.uniform(-3, 3, (m, n))
+        x0 = rng.uniform(-2, 2, n)
+        b = a @ x0 + rng.uniform(0.1, 2, m)
+        bounds = [(None, None)] * n
+
+        ours = solve_lp(c, a_ub=a, b_ub=b, bounds=bounds)
+        ref = linprog(c, A_ub=a, b_ub=b, bounds=[(None, None)] * n, method="highs")
+        if ref.status == 0:
+            assert ours.is_optimal
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-5, rel=1e-5)
+        elif ref.status == 3:
+            assert ours.status == LPStatus.UNBOUNDED

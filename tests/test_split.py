@@ -1,0 +1,112 @@
+"""Tests for the R* node-split algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.split import rstar_split, rstar_split_profiles
+
+
+def random_rects(rng, n, d=2, spread=100.0):
+    lo = rng.uniform(0, spread, size=(n, d))
+    extent = rng.uniform(0.1, spread / 5.0, size=(n, d))
+    rects = np.stack([lo, lo + extent], axis=1)
+    return rects
+
+
+class TestRStarSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        rng = np.random.default_rng(0)
+        rects = random_rects(rng, 10)
+        g1, g2 = rstar_split(rects, min_fill=3)
+        combined = sorted(np.concatenate([g1, g2]).tolist())
+        assert combined == list(range(10))
+
+    def test_min_fill_respected(self):
+        rng = np.random.default_rng(1)
+        rects = random_rects(rng, 11)
+        g1, g2 = rstar_split(rects, min_fill=4)
+        assert len(g1) >= 4 and len(g2) >= 4
+
+    def test_separates_two_clusters(self):
+        """Two well-separated clusters must be split apart."""
+        rng = np.random.default_rng(2)
+        left = random_rects(rng, 5, spread=10.0)
+        right = random_rects(rng, 5, spread=10.0)
+        right[:, :, 0] += 1000.0  # shift x by 1000
+        rects = np.concatenate([left, right])
+        g1, g2 = rstar_split(rects, min_fill=2)
+        groups = [set(g1.tolist()), set(g2.tolist())]
+        assert {0, 1, 2, 3, 4} in groups
+        assert {5, 6, 7, 8, 9} in groups
+
+    def test_rejects_impossible_split(self):
+        rng = np.random.default_rng(3)
+        rects = random_rects(rng, 4)
+        with pytest.raises(ValueError):
+            rstar_split(rects, min_fill=3)
+        with pytest.raises(ValueError):
+            rstar_split(rects, min_fill=0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            rstar_split(np.zeros((5, 3, 2)), min_fill=2)
+
+    def test_axis_choice_prefers_low_margin(self):
+        """Rects spread along y but tight in x should split on y."""
+        n = 8
+        rects = np.zeros((n, 2, 2))
+        for i in range(n):
+            rects[i, 0] = [0.0, i * 100.0]
+            rects[i, 1] = [1.0, i * 100.0 + 1.0]
+        g1, g2 = rstar_split(rects, min_fill=2)
+        # A y-split puts consecutive indices together.
+        g1_sorted = sorted(g1.tolist())
+        assert g1_sorted == list(range(g1_sorted[0], g1_sorted[0] + len(g1_sorted)))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_randomised_partition_properties(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 30))
+        d = int(rng.integers(1, 4))
+        rects = random_rects(rng, n, d=d)
+        min_fill = int(rng.integers(1, n // 2 + 1))
+        g1, g2 = rstar_split(rects, min_fill)
+        assert len(g1) >= min_fill and len(g2) >= min_fill
+        assert sorted(np.concatenate([g1, g2]).tolist()) == list(range(n))
+
+
+class TestAllLayerSplit:
+    def test_partition_properties(self):
+        rng = np.random.default_rng(5)
+        n, layers = 9, 4
+        base = random_rects(rng, n)
+        profiles = np.stack([base for _ in range(layers)], axis=1)
+        # Shrink inner layers, as PCR profiles do.
+        for j in range(layers):
+            shrink = j * 0.1
+            profiles[:, j, 0, :] += shrink
+            profiles[:, j, 1, :] -= shrink
+        g1, g2 = rstar_split_profiles(profiles, min_fill=3)
+        assert sorted(np.concatenate([g1, g2]).tolist()) == list(range(n))
+        assert len(g1) >= 3 and len(g2) >= 3
+
+    def test_agrees_with_single_layer_when_one_layer(self):
+        rng = np.random.default_rng(6)
+        rects = random_rects(rng, 8)
+        g1a, g2a = rstar_split(rects, min_fill=3)
+        g1b, g2b = rstar_split_profiles(rects[:, None, :, :], min_fill=3)
+        # Same objective => same groups (possibly swapped).
+        sets_a = {frozenset(g1a.tolist()), frozenset(g2a.tolist())}
+        sets_b = {frozenset(g1b.tolist()), frozenset(g2b.tolist())}
+        assert sets_a == sets_b
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            rstar_split_profiles(np.zeros((5, 2, 3, 2)), min_fill=2)
+        with pytest.raises(ValueError):
+            rstar_split_profiles(np.zeros((4, 2, 2, 2)), min_fill=3)

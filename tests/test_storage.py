@@ -1,0 +1,153 @@
+"""Tests for the paged storage simulator and entry layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.layout import (
+    FLOAT_SIZE,
+    POINTER_SIZE,
+    NodeLayout,
+    rstar_layout,
+    upcr_layout,
+    utree_layout,
+)
+from repro.storage.pager import DataFile, DiskAddress, IOCounter, PageStore
+
+
+class TestIOCounter:
+    def test_counts_and_reset(self):
+        io = IOCounter()
+        io.record_read()
+        io.record_read(3)
+        io.record_write()
+        assert (io.reads, io.writes, io.total) == (4, 1, 5)
+        io.reset()
+        assert io.total == 0
+
+    def test_snapshot_delta(self):
+        io = IOCounter()
+        io.record_read(2)
+        snap = io.snapshot()
+        io.record_read()
+        io.record_write(4)
+        assert io.delta(snap) == (1, 4)
+
+
+class TestDataFile:
+    def test_packing_first_fit(self):
+        df = DataFile(page_size=100)
+        addresses = [df.append(f"obj{i}", 40) for i in range(5)]
+        # Two 40-byte records per 100-byte page.
+        assert [a.page_id for a in addresses] == [0, 0, 1, 1, 2]
+        assert df.page_count == 3
+
+    def test_read_costs_one_io(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        addr = df.append("payload", 10)
+        io.reset()
+        assert df.read(addr) == "payload"
+        assert io.reads == 1
+
+    def test_read_page_returns_all(self):
+        df = DataFile(page_size=100)
+        df.append("a", 30)
+        df.append("b", 30)
+        assert df.read_page(0) == ["a", "b"]
+
+    def test_oversized_record_clamped_to_page(self):
+        df = DataFile(page_size=100)
+        a1 = df.append("big", 5000)
+        a2 = df.append("next", 10)
+        assert a1.page_id != a2.page_id
+
+    def test_rejects_bad_sizes(self):
+        df = DataFile(page_size=100)
+        with pytest.raises(ValueError):
+            df.append("x", 0)
+        with pytest.raises(ValueError):
+            DataFile(page_size=0)
+
+    def test_append_charges_write_per_new_page(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        df.append("a", 60)
+        df.append("b", 60)  # does not fit -> new page
+        assert io.writes == 2
+
+    def test_size_bytes(self):
+        df = DataFile(page_size=128)
+        df.append("a", 100)
+        df.append("b", 100)
+        assert df.size_bytes == 2 * 128
+
+
+class TestPageStore:
+    def test_allocate_free(self):
+        store = PageStore()
+        p1 = store.allocate()
+        p2 = store.allocate()
+        assert p1 != p2
+        assert store.page_count == 2
+        store.free(p1)
+        assert store.page_count == 1
+
+    def test_touch_charges_io(self):
+        io = IOCounter()
+        store = PageStore(io)
+        p = store.allocate()
+        store.touch_read(p)
+        store.touch_write(p)
+        assert (io.reads, io.writes) == (1, 1)
+
+    def test_touch_unallocated_raises(self):
+        store = PageStore()
+        with pytest.raises(KeyError):
+            store.touch_read(99)
+
+    def test_size_bytes(self):
+        store = PageStore(page_size=4096)
+        store.allocate()
+        store.allocate()
+        assert store.size_bytes == 8192
+
+
+class TestLayouts:
+    def test_utree_2d_matches_paper(self):
+        """Section 6.3: two CFBs are 16 values in 2-D, 24 in 3-D."""
+        layout2 = utree_layout(2)
+        assert layout2.leaf_entry_bytes == 16 * FLOAT_SIZE + 4 * FLOAT_SIZE + POINTER_SIZE
+        layout3 = utree_layout(3)
+        assert layout3.leaf_entry_bytes == 24 * FLOAT_SIZE + 6 * FLOAT_SIZE + POINTER_SIZE
+
+    def test_upcr_matches_paper(self):
+        """Section 6.3: m PCRs are 36 values at m=9 (2-D), 60 at m=10 (3-D)."""
+        layout2 = upcr_layout(2, 9)
+        assert layout2.inner_entry_bytes == 36 * FLOAT_SIZE + POINTER_SIZE
+        layout3 = upcr_layout(3, 10)
+        assert layout3.inner_entry_bytes == 60 * FLOAT_SIZE + POINTER_SIZE
+
+    def test_utree_fanout_larger_than_upcr(self):
+        ut = utree_layout(2)
+        up = upcr_layout(2, 9)
+        assert ut.leaf_capacity > up.leaf_capacity
+        assert ut.inner_capacity > up.inner_capacity
+
+    def test_capacity_floor_is_two(self):
+        tiny = NodeLayout(leaf_entry_bytes=5000, inner_entry_bytes=5000, page_size=4096)
+        assert tiny.leaf_capacity == 2
+
+    def test_min_fill(self):
+        layout = rstar_layout(2)
+        assert layout.min_fill(100) == 40
+        assert layout.min_fill(2) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            utree_layout(0)
+        with pytest.raises(ValueError):
+            upcr_layout(2, 0)
+
+    def test_upcr_size_grows_with_catalog(self):
+        assert upcr_layout(2, 12).leaf_entry_bytes > upcr_layout(2, 3).leaf_entry_bytes

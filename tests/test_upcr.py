@@ -1,0 +1,116 @@
+"""Integration tests for the U-PCR comparison structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.query import ProbRangeQuery
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import brute_force_answer, make_mixed_objects
+
+
+@pytest.fixture(scope="module")
+def built_pair():
+    """A U-PCR and a U-tree over the same objects, with identical estimators."""
+    objects = make_mixed_objects(80, seed=51)
+    upcr = UPCRTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+    utree = UTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+    for obj in objects:
+        upcr.insert(obj)
+        utree.insert(obj)
+    return upcr, utree, objects
+
+
+class TestQueryCorrectness:
+    def test_matches_brute_force(self, built_pair):
+        upcr, __, objects = built_pair
+        rng = np.random.default_rng(1)
+        for __i in range(8):
+            centre = objects[int(rng.integers(0, len(objects)))].mbr.center
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(200, 1200))),
+                float(rng.uniform(0.1, 0.9)),
+            )
+            answer = upcr.query(query)
+            expected = brute_force_answer(objects, query.rect, query.threshold)
+            assert answer.sorted_ids() == expected
+
+    def test_agrees_with_utree(self, built_pair):
+        upcr, utree, objects = built_pair
+        rng = np.random.default_rng(2)
+        for __i in range(10):
+            centre = rng.uniform(1000, 9000, 2)
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(300, 2500))),
+                float(rng.uniform(0.05, 0.95)),
+            )
+            assert upcr.query(query).sorted_ids() == utree.query(query).sorted_ids()
+
+
+class TestPaperComparisons:
+    def test_upcr_larger_than_utree(self, built_pair):
+        """Table 1's driver: PCR entries dwarf CFB entries."""
+        upcr, utree, __ = built_pair
+        assert upcr.size_bytes >= utree.size_bytes
+
+    def test_upcr_filter_no_weaker(self, built_pair):
+        """Exact PCRs prune/validate at least as well as CFBs per object.
+
+        Aggregate over queries: U-PCR should need no more P_app
+        computations than the U-tree (its leaf rules dominate)."""
+        upcr, utree, objects = built_pair
+        rng = np.random.default_rng(3)
+        upcr_probs = 0
+        utree_probs = 0
+        for __i in range(10):
+            centre = rng.uniform(1000, 9000, 2)
+            query = ProbRangeQuery(
+                Rect.from_center(centre, float(rng.uniform(300, 2000))),
+                float(rng.uniform(0.1, 0.9)),
+            )
+            upcr_probs += upcr.query(query).stats.prob_computations
+            utree_probs += utree.query(query).stats.prob_computations
+        assert upcr_probs <= utree_probs + 2  # tiny slack for tree-shape noise
+
+
+class TestUpdates:
+    def test_insert_delete_roundtrip(self):
+        objects = make_mixed_objects(40, seed=52)
+        tree = UPCRTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+        for obj in objects:
+            tree.insert(obj)
+        tree.check_invariants()
+        for obj in objects[:20]:
+            assert tree.delete(obj.oid) is not None
+        tree.check_invariants()
+        query = ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.4)
+        expected = brute_force_answer(objects[20:], query.rect, 0.4)
+        assert tree.query(query).sorted_ids() == expected
+
+    def test_delete_missing(self):
+        tree = UPCRTree(2)
+        assert tree.delete(123) is None
+
+    def test_dimension_mismatch(self):
+        tree = UPCRTree(3)
+        with pytest.raises(ValueError):
+            tree.insert(make_mixed_objects(1, seed=53)[0])
+
+    def test_default_catalog_dim_dependent(self):
+        assert UPCRTree(2).catalog.size == 9
+        assert UPCRTree(3).catalog.size == 10
+
+    def test_custom_catalog_changes_entry_size(self):
+        objects = make_mixed_objects(30, seed=54)
+        small = UPCRTree(2, UCatalog.evenly_spaced(3))
+        large = UPCRTree(2, UCatalog.evenly_spaced(12))
+        for obj in objects:
+            small.insert(obj)
+            large.insert(obj)
+        # More PCRs per entry -> fewer entries per node -> more nodes.
+        assert large.engine.node_count >= small.engine.node_count

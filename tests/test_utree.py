@@ -1,0 +1,185 @@
+"""Integration tests for the U-tree: correctness, updates, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import UCatalog
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import brute_force_answer, make_mixed_objects
+
+
+@pytest.fixture(scope="module")
+def built_tree():
+    objects = make_mixed_objects(80, seed=21)
+    tree = UTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42))
+    for obj in objects:
+        tree.insert(obj)
+    return tree, objects
+
+
+def queries_for(objects, count=6, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.stack([obj.mbr.center for obj in objects])
+    out = []
+    for i in range(count):
+        centre = centres[rng.integers(0, len(centres))]
+        size = rng.uniform(300, 2000)
+        pq = float(rng.uniform(0.1, 0.9))
+        out.append(ProbRangeQuery(Rect.from_center(centre, size / 2), round(pq, 2)))
+    return out
+
+
+class TestQueryCorrectness:
+    def test_matches_brute_force(self, built_tree):
+        tree, objects = built_tree
+        for query in queries_for(objects, count=8, seed=5):
+            answer = tree.query(query)
+            expected = brute_force_answer(objects, query.rect, query.threshold)
+            assert answer.sorted_ids() == expected, (
+                f"mismatch for rect={query.rect}, pq={query.threshold}"
+            )
+
+    @pytest.mark.parametrize("pq", [0.05, 0.3, 0.5, 0.7, 0.95, 1.0])
+    def test_threshold_sweep(self, built_tree, pq):
+        tree, objects = built_tree
+        query = ProbRangeQuery(Rect([2000, 2000], [7000, 7000]), pq)
+        answer = tree.query(query)
+        expected = brute_force_answer(objects, query.rect, pq)
+        assert answer.sorted_ids() == expected
+
+    def test_results_monotone_in_threshold(self, built_tree):
+        tree, __ = built_tree
+        rect = Rect([1000, 1000], [8000, 8000])
+        previous = None
+        for pq in (0.1, 0.3, 0.5, 0.7, 0.9):
+            ids = set(tree.query(ProbRangeQuery(rect, pq)).object_ids)
+            if previous is not None:
+                assert ids <= previous, "higher threshold must shrink the answer"
+            previous = ids
+
+    def test_empty_query_region(self, built_tree):
+        tree, __ = built_tree
+        answer = tree.query(ProbRangeQuery(Rect([90000, 90000], [90010, 90010]), 0.5))
+        assert answer.object_ids == []
+
+    def test_query_covering_everything(self, built_tree):
+        tree, objects = built_tree
+        answer = tree.query(ProbRangeQuery(Rect([-1000, -1000], [20000, 20000]), 0.5))
+        assert answer.sorted_ids() == sorted(o.oid for o in objects)
+        # Fully-contained objects are validated without any P_app work.
+        assert answer.stats.prob_computations == 0
+        assert answer.stats.validated_directly == len(objects)
+
+
+class TestAccounting:
+    def test_stats_populated(self, built_tree):
+        tree, objects = built_tree
+        query = queries_for(objects, count=1, seed=9)[0]
+        stats = tree.query(query).stats
+        assert stats.node_accesses >= 1
+        assert stats.wall_seconds > 0
+        assert stats.result_count == len(tree.query(query).object_ids)
+        assert stats.validated_directly + stats.prob_computations >= stats.result_count
+
+    def test_refinement_groups_by_page(self, built_tree):
+        tree, objects = built_tree
+        query = ProbRangeQuery(Rect([500, 500], [9500, 9500]), 0.5)
+        stats = tree.query(query).stats
+        # Grouping: data pages read never exceed candidate computations.
+        assert stats.data_page_reads <= max(stats.prob_computations, 1)
+
+    def test_validated_fraction(self, built_tree):
+        tree, objects = built_tree
+        query = ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.5)
+        stats = tree.query(query).stats
+        assert stats.validated_fraction == pytest.approx(1.0)
+
+
+class TestUpdates:
+    def test_insert_cost_breakdown(self):
+        tree = UTree(2)
+        obj = make_mixed_objects(1, seed=31)[0]
+        cost = tree.insert(obj)
+        assert cost.cpu_seconds > 0
+        assert cost.io_total >= 1
+        assert len(tree) == 1
+        assert obj.oid in tree
+
+    def test_dimension_mismatch_rejected(self):
+        tree = UTree(3)
+        obj = make_mixed_objects(1, seed=32)[0]  # 2-D object
+        with pytest.raises(ValueError):
+            tree.insert(obj)
+
+    def test_delete_returns_cost(self):
+        objects = make_mixed_objects(30, seed=33)
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        cost = tree.delete(objects[0].oid)
+        assert cost is not None and cost.io_total >= 1
+        assert objects[0].oid not in tree
+        assert tree.delete(objects[0].oid) is None  # second delete: absent
+
+    def test_delete_then_query_consistent(self):
+        objects = make_mixed_objects(50, seed=34)
+        estimator = AppearanceEstimator(n_samples=20_000, seed=42)
+        tree = UTree(2, estimator=estimator)
+        for obj in objects:
+            tree.insert(obj)
+        keep = objects[25:]
+        for obj in objects[:25]:
+            assert tree.delete(obj.oid) is not None
+        tree.check_invariants()
+        query = ProbRangeQuery(Rect([0, 0], [10000, 10000]), 0.3)
+        answer = tree.query(query)
+        expected = brute_force_answer(keep, query.rect, 0.3)
+        assert answer.sorted_ids() == expected
+
+    def test_reinsert_after_delete(self):
+        objects = make_mixed_objects(20, seed=35)
+        tree = UTree(2)
+        for obj in objects:
+            tree.insert(obj)
+        tree.delete(objects[3].oid)
+        tree.insert(objects[3])
+        assert len(tree) == 20
+        tree.check_invariants()
+
+
+class TestStructure:
+    def test_invariants_and_height(self, built_tree):
+        tree, objects = built_tree
+        tree.check_invariants()
+        assert tree.height >= 2
+        assert tree.size_bytes % 4096 == 0
+
+    def test_custom_catalog(self):
+        objects = make_mixed_objects(25, seed=36)
+        catalog = UCatalog([0.0, 0.2, 0.5])
+        tree = UTree(2, catalog)
+        for obj in objects:
+            tree.insert(obj)
+        tree.check_invariants()
+        assert tree.catalog.size == 3
+
+    def test_intermediate_bounds_modes(self):
+        objects = make_mixed_objects(40, seed=37)
+        est = AppearanceEstimator(n_samples=20_000, seed=42)
+        linear = UTree(2, estimator=est, intermediate_bounds="linear")
+        exact = UTree(2, estimator=AppearanceEstimator(n_samples=20_000, seed=42),
+                      intermediate_bounds="exact")
+        for obj in objects:
+            linear.insert(obj)
+            exact.insert(obj)
+        query = ProbRangeQuery(Rect([2000, 2000], [8000, 8000]), 0.4)
+        assert linear.query(query).sorted_ids() == exact.query(query).sorted_ids()
+
+    def test_bad_bounds_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UTree(2, intermediate_bounds="fancy")
