@@ -1,0 +1,120 @@
+"""Benches for the unified execution layer (buffer pool + batch executor).
+
+The acceptance contract of the exec subsystem:
+
+* a :class:`~repro.exec.batch.BatchExecutor` over a warm
+  :class:`~repro.storage.bufferpool.BufferPool` performs **strictly fewer
+  physical data-page reads** than per-query uncached execution on an
+  overlapping workload (here: every query appears twice);
+* with ``BufferPool(0)`` — or no pool at all — every I/O counter
+  reproduces the seed's uncached numbers exactly;
+* answers are bit-identical in all modes (memoisation is exact because
+  the Monte-Carlo stream is keyed on ``(seed, object_id)``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import workload_for
+from repro.core.utree import UTree
+from repro.exec import BatchExecutor, Planner, execute_query
+from repro.experiments.data import dataset_objects
+from repro.storage.bufferpool import BufferPool
+
+
+@pytest.fixture(scope="module")
+def overlapping_workload(lb_points, scale):
+    base = workload_for(lb_points, scale, qs=1500.0, pq=0.6, seed=505)
+    return list(base) * 2  # every query repeated: an overlapping workload
+
+
+def _build(objects, pool=None):
+    tree = UTree(2, pool=pool)
+    for obj in objects:
+        tree.insert(obj)
+    return tree
+
+
+class TestBatchedExecutionIO:
+    def test_warm_pool_batch_strictly_fewer_physical_data_reads(
+        self, scale, overlapping_workload
+    ):
+        objects = dataset_objects("LB", scale)
+
+        # Per-query uncached execution: every logical data-page read hits
+        # the simulated disk.
+        uncached = _build(objects)
+        uncached.io.reset()
+        baseline = [execute_query(uncached, q) for q in overlapping_workload]
+        baseline_data_reads = sum(a.stats.data_page_reads for a in baseline)
+        assert baseline_data_reads > 0
+        assert uncached.io.cache_hits == 0
+
+        # Batched execution against a warm pool: the batch dedupes page
+        # fetches and the pool serves repeats from memory, so *total*
+        # physical reads (nodes + data pages) stay below the uncached
+        # run's data-page reads alone.
+        pool = BufferPool(4096)
+        pooled = _build(objects, pool=pool)
+        BatchExecutor(pooled).run(overlapping_workload)  # warm-up pass
+        pooled.io.reset()
+        result = BatchExecutor(pooled).run(overlapping_workload)
+        physical_during_batch = result.batch.physical_reads
+        assert physical_during_batch < baseline_data_reads
+        assert result.batch.cache_hits > 0
+        assert [a.object_ids for a in result.answers] == [
+            a.object_ids for a in baseline
+        ]
+
+    def test_capacity_zero_reproduces_seed_io_exactly(
+        self, scale, overlapping_workload
+    ):
+        objects = dataset_objects("LB", scale)
+        plain = _build(objects)
+        zero = _build(objects, pool=BufferPool(0))
+        plain.io.reset()
+        zero.io.reset()
+        for query in overlapping_workload:
+            a = execute_query(plain, query)
+            b = execute_query(zero, query)
+            assert a.object_ids == b.object_ids
+            assert a.stats.node_accesses == b.stats.node_accesses
+            assert a.stats.data_page_reads == b.stats.data_page_reads
+        assert zero.io.reads == plain.io.reads
+        assert zero.io.writes == plain.io.writes
+        assert zero.io.cache_hits == 0
+
+    def test_batch_dedupe_alone_saves_fetches_without_pool(
+        self, scale, overlapping_workload
+    ):
+        objects = dataset_objects("LB", scale)
+        tree = _build(objects)
+        tree.io.reset()
+        result = BatchExecutor(tree).run(overlapping_workload)
+        # Even uncached, the batch fetches each candidate page once.
+        assert result.batch.unique_data_pages < result.batch.logical_data_page_reads
+        assert result.batch.memo_hits > 0  # repeated rectangles share P_app
+
+
+class TestBatchExecutorBench:
+    def test_batched_workload_throughput(self, benchmark, scale, overlapping_workload):
+        objects = dataset_objects("LB", scale)
+        pool = BufferPool(4096)
+        tree = _build(objects, pool=pool)
+        executor = BatchExecutor(tree)
+        executor.run(overlapping_workload)  # warm pool and memo
+
+        result = benchmark(executor.run, overlapping_workload)
+        stats = result.workload
+        benchmark.extra_info["physical_reads"] = result.batch.physical_reads
+        benchmark.extra_info["cache_hits"] = result.batch.cache_hits
+        benchmark.extra_info["memo_hit_rate"] = round(result.batch.memo_hit_rate, 3)
+        benchmark.extra_info["avg_logical_io"] = stats.avg_total_io
+        assert result.batch.physical_reads == 0  # fully warm
+
+    def test_planner_overhead(self, benchmark, scale, lb_utree, overlapping_workload):
+        planner = Planner.for_structures(utree=lb_utree, data_records_per_page=40)
+        report = benchmark(planner.run, overlapping_workload[:8])
+        assert report.workload.count == 8
+        benchmark.extra_info["choices"] = report.choice_counts()

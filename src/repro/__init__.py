@@ -41,8 +41,13 @@ from repro.core.scan import SequentialScan
 from repro.core.stats import QueryStats, WorkloadStats
 from repro.core.upcr import UPCRTree
 from repro.core.utree import UpdateCost, UTree
+from repro.exec.access import AccessMethod, FilterResult
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.executor import QueryExecutor, execute_query, execute_workload
+from repro.exec.planner import Planner, PlanReport, PlannedQuery, ScanCostModel
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
+from repro.storage.bufferpool import BufferPool
 from repro.storage.pager import DataFile, DiskAddress, IOCounter
 from repro.storage.serialize import load_utree, save_utree
 from repro.uncertainty.montecarlo import AppearanceEstimator, estimate_appearance_probability
@@ -63,15 +68,21 @@ from repro.uncertainty.regions import BallRegion, BoxRegion, UncertaintyRegion
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccessMethod",
     "AppearanceEstimator",
     "BallRegion",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
     "BoxRegion",
+    "BufferPool",
     "CFBRules",
     "ConstrainedGaussianDensity",
     "CostEstimate",
     "DataFile",
     "Density",
     "DiskAddress",
+    "FilterResult",
     "HistogramDensity",
     "IOCounter",
     "LinearBoxFunction",
@@ -80,10 +91,15 @@ __all__ = [
     "NNResult",
     "PCRRules",
     "PCRSet",
+    "PlanReport",
+    "PlannedQuery",
+    "Planner",
     "ProbRangeQuery",
     "QueryAnswer",
+    "QueryExecutor",
     "QueryStats",
     "RStarTree",
+    "ScanCostModel",
     "RadialExponentialDensity",
     "Rect",
     "SequentialScan",
@@ -99,6 +115,8 @@ __all__ = [
     "WorkloadStats",
     "compute_pcrs",
     "estimate_appearance_probability",
+    "execute_query",
+    "execute_workload",
     "expected_nearest_neighbors",
     "fit_cfbs",
     "fit_inner_cfb",

@@ -49,9 +49,15 @@ class QueryAnswer:
 
     object_ids: list[int] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+    _id_set: set[int] | None = field(default=None, repr=False, compare=False)
 
     def __contains__(self, oid: int) -> bool:
-        return oid in set(self.object_ids)
+        # The id set is cached between checks and rebuilt only when
+        # object_ids has grown since (answers are append-only while the
+        # executor builds them).
+        if self._id_set is None or len(self._id_set) != len(self.object_ids):
+            self._id_set = set(self.object_ids)
+        return oid in self._id_set
 
     def sorted_ids(self) -> list[int]:
         return sorted(self.object_ids)

@@ -12,17 +12,19 @@ The summaries live in a simulated flat file: scanning charges
 from __future__ import annotations
 
 import math
-import time
+from collections.abc import Iterator
 
 from repro.core.catalog import UCatalog
 from repro.core.cfb import fit_cfbs
 from repro.core.pcr import compute_pcrs
 from repro.core.pruning import CFBRules, Verdict
-from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
-from repro.core.stats import QueryStats
+from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.core.utree import UTreeLeafRecord
+from repro.exec.access import FilterResult
+from repro.exec.executor import execute_query
+from repro.storage.bufferpool import BufferPool, charge_page_read
 from repro.storage.layout import utree_layout
-from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.storage.pager import DataFile, IOCounter
 from repro.uncertainty.montecarlo import AppearanceEstimator
 from repro.uncertainty.objects import UncertainObject
 
@@ -39,19 +41,26 @@ class SequentialScan:
         *,
         page_size: int = 4096,
         io: IOCounter | None = None,
+        pool: BufferPool | None = None,
         estimator: AppearanceEstimator | None = None,
     ):
         self.catalog = catalog if catalog is not None else UCatalog.paper_utree_default()
         self.dim = dim
         self.page_size = page_size
         self.io = io if io is not None else IOCounter()
+        self.pool = pool
+        self._summary_file_id = pool.register_file() if pool is not None else -1
         self.estimator = estimator if estimator is not None else AppearanceEstimator()
-        self.data_file = DataFile(self.io, page_size)
+        self.data_file = DataFile(self.io, page_size, pool=pool)
         self._entry_bytes = utree_layout(dim, page_size).leaf_entry_bytes
         self._records: list[UTreeLeafRecord] = []
 
     def __len__(self) -> int:
         return len(self._records)
+
+    def records(self) -> Iterator[UTreeLeafRecord]:
+        """Iterate the stored summaries (no I/O charged; for cost models)."""
+        return iter(self._records)
 
     @property
     def scan_pages(self) -> int:
@@ -86,28 +95,25 @@ class SequentialScan:
                 return True
         return False
 
-    def query(self, query: ProbRangeQuery) -> QueryAnswer:
-        """Answer a prob-range query by scanning every summary."""
-        start = time.perf_counter()
-        stats = QueryStats()
-        answer = QueryAnswer(stats=stats)
-        candidates: list[tuple[int, DiskAddress]] = []
-
-        stats.node_accesses = self.scan_pages
-        self.io.record_read(stats.node_accesses)
+    def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
+        """Filter phase: read the whole flat file, classify every summary."""
+        result = FilterResult()
+        result.node_accesses = self.scan_pages
+        if self.pool is None:
+            self.io.record_read(result.node_accesses)
+        else:
+            for page_id in range(result.node_accesses):
+                charge_page_read(self.io, self.pool, self._summary_file_id, page_id)
         for record in self._records:
             verdict = record.rules.apply(record.mbr, query.rect, query.threshold)
             if verdict is Verdict.VALIDATED:
-                answer.object_ids.append(record.oid)
-                stats.validated_directly += 1
+                result.validated.append(record.oid)
             elif verdict is Verdict.CANDIDATE:
-                candidates.append((record.oid, record.address))
+                result.candidates.append((record.oid, record.address))
             else:
-                stats.pruned += 1
+                result.pruned += 1
+        return result
 
-        refine_candidates(
-            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
-        )
-        stats.result_count = len(answer.object_ids)
-        stats.wall_seconds = time.perf_counter() - start
-        return answer
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query through the shared executor."""
+        return execute_query(self, query)

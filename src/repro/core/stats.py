@@ -25,10 +25,21 @@ class QueryStats:
     pruned: int = 0
     result_count: int = 0
     wall_seconds: float = 0.0
+    # Filled by the execution layer: physical (disk) reads vs buffer-pool
+    # hits during this query.  Without a pool, physical == logical.
+    physical_reads: int = 0
+    cache_hits: int = 0
+    # Appearance probabilities served from the batch memo instead of being
+    # recomputed (only the batched executor produces nonzero values).
+    memoized_probs: int = 0
 
     @property
     def total_io(self) -> int:
-        """Filter-step node accesses plus refinement-step data pages."""
+        """Filter-step node accesses plus refinement-step data pages.
+
+        These are *logical* accesses — the paper's metric, independent of
+        any buffer pool in front of the simulated disk.
+        """
         return self.node_accesses + self.data_page_reads
 
     @property
@@ -67,8 +78,31 @@ class WorkloadStats:
         return self._mean([q.total_io for q in self.queries])
 
     @property
+    def avg_physical_reads(self) -> float:
+        return self._mean([q.physical_reads for q in self.queries])
+
+    @property
+    def total_physical_reads(self) -> int:
+        return sum(q.physical_reads for q in self.queries)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(q.cache_hits for q in self.queries)
+
+    @property
     def avg_prob_computations(self) -> float:
+        """Average P_app values actually computed per query.
+
+        Under the batched executor, memoised lookups are *not* counted
+        here (see :attr:`avg_memoized_probs`); per-query uncached
+        execution computes every value, matching the paper's metric.
+        """
         return self._mean([q.prob_computations for q in self.queries])
+
+    @property
+    def avg_memoized_probs(self) -> float:
+        """Average P_app values served from the batch memo per query."""
+        return self._mean([q.memoized_probs for q in self.queries])
 
     @property
     def avg_result_count(self) -> float:
@@ -93,6 +127,7 @@ class WorkloadStats:
             "queries": float(self.count),
             "avg_node_accesses": self.avg_node_accesses,
             "avg_total_io": self.avg_total_io,
+            "avg_physical_reads": self.avg_physical_reads,
             "avg_prob_computations": self.avg_prob_computations,
             "avg_result_count": self.avg_result_count,
             "avg_wall_seconds": self.avg_wall_seconds,

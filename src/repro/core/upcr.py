@@ -25,12 +25,14 @@ from dataclasses import dataclass
 from repro.core.catalog import UCatalog
 from repro.core.pcr import PCRSet, compute_pcrs
 from repro.core.pruning import PCRRules, Verdict, subtree_may_qualify
-from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
-from repro.core.stats import QueryStats
+from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.core.utree import UpdateCost
+from repro.exec.access import FilterResult
+from repro.exec.executor import execute_query
 from repro.geometry.rect import Rect
 from repro.index.engine import RStarEngine
 from repro.index.node import Entry
+from repro.storage.bufferpool import BufferPool
 from repro.storage.layout import upcr_layout
 from repro.storage.pager import DataFile, DiskAddress, IOCounter
 from repro.uncertainty.montecarlo import AppearanceEstimator
@@ -59,12 +61,14 @@ class UPCRTree:
         *,
         page_size: int = 4096,
         io: IOCounter | None = None,
+        pool: BufferPool | None = None,
         estimator: AppearanceEstimator | None = None,
         split_mode: str = "median-layer",
     ):
         self.catalog = catalog if catalog is not None else UCatalog.paper_upcr_default(dim)
         self.dim = dim
         self.io = io if io is not None else IOCounter()
+        self.pool = pool
         self.estimator = estimator if estimator is not None else AppearanceEstimator()
         layout = upcr_layout(dim, self.catalog.size, page_size)
         self.engine = RStarEngine(
@@ -72,10 +76,11 @@ class UPCRTree:
             self.catalog.size,
             layout,
             io=self.io,
+            pool=pool,
             chord_values=None,  # exact per-layer unions
             split_mode=split_mode,
         )
-        self.data_file = DataFile(self.io, page_size)
+        self.data_file = DataFile(self.io, page_size, pool=pool)
         self._profiles: dict[int, object] = {}
 
     @classmethod
@@ -162,16 +167,13 @@ class UPCRTree:
         return oid in self._profiles
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (the AccessMethod protocol)
     # ------------------------------------------------------------------
-    def query(self, query: ProbRangeQuery) -> QueryAnswer:
-        """Answer a prob-range query (filter + refinement)."""
-        start = time.perf_counter()
-        stats = QueryStats()
-        answer = QueryAnswer(stats=stats)
+    def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
+        """Filter phase: subtree pruning plus Observation-2 leaf checks."""
         rq = query.rect
         pq = query.threshold
-        candidates: list[tuple[int, DiskAddress]] = []
+        result = FilterResult()
 
         def descend(entry: Entry) -> bool:
             return subtree_may_qualify(
@@ -185,20 +187,18 @@ class UPCRTree:
             record: UPCRLeafRecord = entry.data
             verdict = record.rules.apply(rq, pq)
             if verdict is Verdict.VALIDATED:
-                answer.object_ids.append(record.oid)
-                stats.validated_directly += 1
+                result.validated.append(record.oid)
             elif verdict is Verdict.CANDIDATE:
-                candidates.append((record.oid, record.address))
+                result.candidates.append((record.oid, record.address))
             else:
-                stats.pruned += 1
+                result.pruned += 1
 
-        stats.node_accesses = self.engine.traverse(descend, on_leaf)
-        refine_candidates(
-            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
-        )
-        stats.result_count = len(answer.object_ids)
-        stats.wall_seconds = time.perf_counter() - start
-        return answer
+        result.node_accesses = self.engine.traverse(descend, on_leaf)
+        return result
+
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query through the shared executor."""
+        return execute_query(self, query)
 
     def check_invariants(self) -> None:
         """Validate the structural invariants of the underlying engine."""

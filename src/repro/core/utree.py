@@ -28,13 +28,15 @@ from repro.core.catalog import UCatalog
 from repro.core.cfb import LinearBoxFunction, fit_cfbs
 from repro.core.pcr import compute_pcrs
 from repro.core.pruning import CFBRules, Verdict, subtree_may_qualify
-from repro.core.query import ProbRangeQuery, QueryAnswer, refine_candidates
-from repro.core.stats import QueryStats
+from repro.core.query import ProbRangeQuery, QueryAnswer
+from repro.exec.access import FilterResult
+from repro.exec.executor import execute_query
 from repro.geometry.rect import Rect
 from repro.index.engine import RStarEngine
 from repro.index.node import Entry
+from repro.storage.bufferpool import BufferPool
 from repro.storage.layout import utree_layout
-from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.storage.pager import DataFile, IOCounter
 from repro.uncertainty.montecarlo import AppearanceEstimator
 from repro.uncertainty.objects import UncertainObject
 
@@ -76,6 +78,7 @@ class UTree:
         *,
         page_size: int = 4096,
         io: IOCounter | None = None,
+        pool: BufferPool | None = None,
         estimator: AppearanceEstimator | None = None,
         split_mode: str = "median-layer",
         intermediate_bounds: str = "linear",
@@ -88,12 +91,17 @@ class UTree:
         union at every catalog value — tighter pruning boxes at the same
         simulated entry size, used only for the ablation bench that
         quantifies what the linear approximation costs.
+
+        ``pool`` attaches a shared buffer pool in front of both the node
+        store and the data file; omit it (or use capacity 0) for the
+        paper's uncached I/O accounting.
         """
         if intermediate_bounds not in ("linear", "exact"):
             raise ValueError(f"unknown intermediate_bounds {intermediate_bounds!r}")
         self.catalog = catalog if catalog is not None else UCatalog.paper_utree_default()
         self.dim = dim
         self.io = io if io is not None else IOCounter()
+        self.pool = pool
         self.estimator = estimator if estimator is not None else AppearanceEstimator()
         layout = utree_layout(dim, page_size)
         self.engine = RStarEngine(
@@ -101,10 +109,11 @@ class UTree:
             self.catalog.size,
             layout,
             io=self.io,
+            pool=pool,
             chord_values=self.catalog.values if intermediate_bounds == "linear" else None,
             split_mode=split_mode,
         )
-        self.data_file = DataFile(self.io, page_size)
+        self.data_file = DataFile(self.io, page_size, pool=pool)
         self._profiles: dict[int, object] = {}
 
     # ------------------------------------------------------------------
@@ -216,16 +225,14 @@ class UTree:
         return oid in self._profiles
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (the AccessMethod protocol)
     # ------------------------------------------------------------------
-    def query(self, query: ProbRangeQuery) -> QueryAnswer:
-        """Answer a prob-range query (filter + refinement)."""
-        start = time.perf_counter()
-        stats = QueryStats()
-        answer = QueryAnswer(stats=stats)
+    def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
+        """Filter phase: prune with Observation 4, classify leaves with
+        Observation 3, leave survivors for the executor's refinement."""
         rq = query.rect
         pq = query.threshold
-        candidates: list[tuple[int, DiskAddress]] = []
+        result = FilterResult()
 
         def descend(entry: Entry) -> bool:
             return subtree_may_qualify(
@@ -239,20 +246,18 @@ class UTree:
             record: UTreeLeafRecord = entry.data
             verdict = record.rules.apply(record.mbr, rq, pq)
             if verdict is Verdict.VALIDATED:
-                answer.object_ids.append(record.oid)
-                stats.validated_directly += 1
+                result.validated.append(record.oid)
             elif verdict is Verdict.CANDIDATE:
-                candidates.append((record.oid, record.address))
+                result.candidates.append((record.oid, record.address))
             else:
-                stats.pruned += 1
+                result.pruned += 1
 
-        stats.node_accesses = self.engine.traverse(descend, on_leaf)
-        refine_candidates(
-            candidates, query, self.data_file, self.estimator, stats, answer.object_ids
-        )
-        stats.result_count = len(answer.object_ids)
-        stats.wall_seconds = time.perf_counter() - start
-        return answer
+        result.node_accesses = self.engine.traverse(descend, on_leaf)
+        return result
+
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer a prob-range query through the shared executor."""
+        return execute_query(self, query)
 
     # ------------------------------------------------------------------
     # maintenance helpers

@@ -1,0 +1,46 @@
+"""The unified query-execution layer.
+
+Separates *structures* (U-tree, U-PCR, sequential scan — anything
+implementing the :class:`~repro.exec.access.AccessMethod` protocol) from
+*execution*:
+
+* :func:`~repro.exec.executor.execute_query` / :class:`QueryExecutor` —
+  the shared filter → refine driver every ``query()`` method delegates to;
+* :class:`~repro.exec.batch.BatchExecutor` — workload execution with
+  batch-deduplicated data-page fetches and memoised appearance
+  probabilities;
+* :class:`~repro.exec.planner.Planner` — cost-model-driven access-method
+  selection per query.
+
+Pair any of these with a :class:`repro.storage.bufferpool.BufferPool` to
+separate physical from logical I/O; with no pool (or capacity 0) all
+accounting reproduces the paper's uncached numbers exactly.
+"""
+
+from repro.exec.access import AccessMethod, FilterResult
+from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.executor import (
+    QueryExecutor,
+    execute_query,
+    execute_workload,
+    measure_delete_drain,
+    measure_insert_build,
+)
+from repro.exec.planner import PlannedQuery, Planner, PlanReport, ScanCostModel
+
+__all__ = [
+    "AccessMethod",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "FilterResult",
+    "PlanReport",
+    "PlannedQuery",
+    "Planner",
+    "QueryExecutor",
+    "ScanCostModel",
+    "execute_query",
+    "execute_workload",
+    "measure_delete_drain",
+    "measure_insert_build",
+]

@@ -1,0 +1,70 @@
+"""The ``AccessMethod`` protocol: what the execution layer runs against.
+
+Every structure in this library answers a prob-range query with the same
+two-phase plan (Section 5.2 of the paper):
+
+1. **filter** — walk pre-computed summaries, returning objects that are
+   *validated* (provably qualify), *pruned* (provably fail) or left as
+   *candidates* with the disk address of their detail record;
+2. **refinement** — fetch each candidate's data page and evaluate the
+   appearance probability by Monte-Carlo integration.
+
+Historically each structure hand-rolled both phases inside its own
+``query`` method.  The execution layer splits them: a structure only has
+to implement :meth:`AccessMethod.filter_candidates` (phase 1) and expose
+its data file + estimator; the shared drivers in
+:mod:`repro.exec.executor` and :mod:`repro.exec.batch` own phase 2 and
+all cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.query import ProbRangeQuery, QueryAnswer
+from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.uncertainty.montecarlo import AppearanceEstimator
+
+__all__ = ["AccessMethod", "FilterResult"]
+
+
+@dataclass
+class FilterResult:
+    """Outcome of an access method's filter phase for one query.
+
+    Attributes:
+        validated: oids proven to qualify without a P_app computation.
+        candidates: surviving ``(oid, address)`` pairs for refinement.
+        node_accesses: logical page reads the filter performed (index
+            nodes for trees, flat-file pages for the sequential scan).
+        pruned: objects proven not to qualify.
+    """
+
+    validated: list[int] = field(default_factory=list)
+    candidates: list[tuple[int, DiskAddress]] = field(default_factory=list)
+    node_accesses: int = 0
+    pruned: int = 0
+
+
+@runtime_checkable
+class AccessMethod(Protocol):
+    """Anything the executors can answer prob-range queries with.
+
+    Implemented by :class:`repro.core.utree.UTree`,
+    :class:`repro.core.upcr.UPCRTree` and
+    :class:`repro.core.scan.SequentialScan`.
+    """
+
+    dim: int
+    io: IOCounter
+    data_file: DataFile
+    estimator: AppearanceEstimator
+
+    def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
+        """Run the filter phase, leaving refinement to the executor."""
+        ...
+
+    def query(self, query: ProbRangeQuery) -> QueryAnswer:
+        """Answer one query end to end (filter + refinement)."""
+        ...

@@ -1,0 +1,201 @@
+"""Cost-model-driven access-method selection.
+
+Section 7 of the paper proposes analytical cost models "useful in query
+optimization, where the cost of a query needs to be accurately predicted
+in order to formulate a good execution plan".  This module is that
+optimiser in miniature: a :class:`Planner` holds several access methods,
+prices an incoming query under each one's cost model, and executes it
+against the cheapest.
+
+Tree-shaped methods are priced with
+:class:`repro.core.costmodel.UTreeCostModel` (the Theodoridis–Sellis
+adaptation, which only needs a catalog and the engine's entry geometry, so
+it covers U-PCR as well); the sequential scan is priced by
+:class:`ScanCostModel` — its filter cost is a constant ``scan_pages`` and
+its refinement cost uses the same intersection-probability sum over the
+flat file's summaries.  A scan never loses badly on tiny trees and wins
+when a huge query region would visit every node anyway, which is exactly
+the trade a planner should arbitrate.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query import ProbRangeQuery, QueryAnswer
+from repro.core.stats import WorkloadStats
+from repro.exec.access import AccessMethod
+from repro.exec.executor import execute_query
+
+__all__ = ["Planner", "PlannedQuery", "PlanReport", "ScanCostModel"]
+
+
+class ScanCostModel:
+    """Analytical cost of answering a query by sequential scan.
+
+    Filter cost is the flat file's page count (every scan reads all
+    summaries).  Refinement cost reuses the Theodoridis–Sellis idea: each
+    object contributes its MBR-vs-query intersection probability to the
+    expected candidate count, scaled by how many detail records share a
+    data page.
+    """
+
+    def __init__(self, scan):
+        self.scan_pages = scan.scan_pages
+        records = list(scan.records())
+        if records:
+            los = np.stack([r.mbr.lo for r in records])
+            his = np.stack([r.mbr.hi for r in records])
+            self._domain_lo = los.min(axis=0)
+            self._domain_hi = his.max(axis=0)
+            self._extents = his - los
+        else:
+            dim = scan.dim
+            self._domain_lo = np.zeros(dim)
+            self._domain_hi = np.ones(dim)
+            self._extents = np.zeros((0, dim))
+        self._domain_extent = np.maximum(self._domain_hi - self._domain_lo, 1e-12)
+
+    def expected_candidates(self, query: ProbRangeQuery) -> float:
+        """Expected number of objects whose MBR meets the query region."""
+        if self._extents.shape[0] == 0:
+            return 0.0
+        norm = self._extents / self._domain_extent
+        q_extent = query.rect.extent / self._domain_extent
+        probs = np.prod(np.minimum(norm + q_extent, 1.0), axis=1)
+        return float(probs.sum())
+
+    def total_io(self, query: ProbRangeQuery, data_records_per_page: float = 1.0) -> float:
+        if data_records_per_page <= 0:
+            raise ValueError("data_records_per_page must be positive")
+        return self.scan_pages + self.expected_candidates(query) / data_records_per_page
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One planning decision: the chosen method and every method's price."""
+
+    query: ProbRangeQuery
+    choice: str
+    estimates: dict[str, float]
+
+
+@dataclass
+class PlanReport:
+    """Outcome of a planned workload run."""
+
+    answers: list[QueryAnswer] = field(default_factory=list)
+    decisions: list[PlannedQuery] = field(default_factory=list)
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+    wall_seconds: float = 0.0
+
+    def choice_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for decision in self.decisions:
+            counts[decision.choice] = counts.get(decision.choice, 0) + 1
+        return counts
+
+
+class Planner:
+    """Pick the cheapest access method per query, then execute it.
+
+    Methods are registered with a cost function mapping a query to a
+    predicted total I/O (any consistent unit works — the planner only
+    compares).  :meth:`for_structures` wires the standard trio.
+    """
+
+    def __init__(self) -> None:
+        self._methods: dict[str, AccessMethod] = {}
+        self._cost_fns: dict[str, object] = {}
+
+    def register(self, name: str, method: AccessMethod, cost_fn) -> None:
+        """Add a method under ``name`` with cost model ``cost_fn(query)``."""
+        if name in self._methods:
+            raise ValueError(f"method {name!r} already registered")
+        self._methods[name] = method
+        self._cost_fns[name] = cost_fn
+
+    @property
+    def method_names(self) -> list[str]:
+        return list(self._methods)
+
+    def __getitem__(self, name: str) -> AccessMethod:
+        return self._methods[name]
+
+    @classmethod
+    def for_structures(
+        cls,
+        utree=None,
+        upcr=None,
+        scan=None,
+        *,
+        data_records_per_page: float = 1.0,
+    ) -> "Planner":
+        """A planner over any subset of the paper's three structures.
+
+        ``data_records_per_page`` converts expected refinement candidates
+        into data-page reads in every model (the data files pack many
+        small detail records per 4 KB page).
+        """
+        # Imported here: costmodel imports the U-tree module, which itself
+        # uses the exec layer — a module-level import would be circular.
+        from repro.core.costmodel import UTreeCostModel
+
+        planner = cls()
+        if utree is not None:
+            model = UTreeCostModel(utree)
+            planner.register(
+                "utree",
+                utree,
+                lambda q, _m=model: _m.estimate(q).total_io(data_records_per_page),
+            )
+        if upcr is not None:
+            model = UTreeCostModel(upcr)
+            planner.register(
+                "upcr",
+                upcr,
+                lambda q, _m=model: _m.estimate(q).total_io(data_records_per_page),
+            )
+        if scan is not None:
+            model = ScanCostModel(scan)
+            planner.register(
+                "scan",
+                scan,
+                lambda q, _m=model: _m.total_io(q, data_records_per_page),
+            )
+        if not planner._methods:
+            raise ValueError("at least one structure is required")
+        return planner
+
+    # ------------------------------------------------------------------
+    def plan(self, query: ProbRangeQuery) -> PlannedQuery:
+        """Price the query under every model; pick the cheapest method."""
+        if not self._methods:
+            raise RuntimeError("no access methods registered")
+        estimates = {
+            name: float(self._cost_fns[name](query)) for name in self._methods
+        }
+        choice = min(estimates, key=lambda name: estimates[name])
+        return PlannedQuery(query=query, choice=choice, estimates=estimates)
+
+    def execute(self, query: ProbRangeQuery) -> tuple[QueryAnswer, PlannedQuery]:
+        """Plan one query and run it on the chosen method."""
+        decision = self.plan(query)
+        answer = execute_query(self._methods[decision.choice], query)
+        return answer, decision
+
+    def run(self, queries: Sequence[ProbRangeQuery]) -> PlanReport:
+        """Plan and execute a whole workload."""
+        start = time.perf_counter()
+        report = PlanReport()
+        for query in queries:
+            answer, decision = self.execute(query)
+            report.answers.append(answer)
+            report.decisions.append(decision)
+            report.workload.add(answer.stats)
+        report.wall_seconds = time.perf_counter() - start
+        return report

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.utree import UTree
+from repro.exec.executor import measure_delete_drain, measure_insert_build
 from repro.experiments.config import Scale, active_scale
 from repro.experiments.data import DATASETS, dataset_objects
 from repro.experiments.harness import format_table
@@ -31,20 +32,14 @@ def run(scale: Scale | None = None, datasets: tuple[str, ...] = DATASETS) -> dic
         dim = objects[0].dim
         tree = UTree(dim)
 
-        insert_io = []
-        insert_cpu = []
-        for obj in objects:
-            cost = tree.insert(obj)
-            insert_io.append(cost.io_total)
-            insert_cpu.append(cost.cpu_seconds)
+        insert_costs = measure_insert_build(tree, objects)
+        insert_io = [cost.io_total for cost in insert_costs]
+        insert_cpu = [cost.cpu_seconds for cost in insert_costs]
 
-        delete_io = []
-        rng = np.random.default_rng(5)
-        order = rng.permutation(len(objects))
-        for idx in order:
-            cost = tree.delete(objects[idx].oid)
-            assert cost is not None
-            delete_io.append(cost.io_total)
+        delete_costs = measure_delete_drain(
+            tree, [obj.oid for obj in objects], np.random.default_rng(5)
+        )
+        delete_io = [cost.io_total for cost in delete_costs]
 
         out[name] = {
             "insert_avg_io": float(np.mean(insert_io)),

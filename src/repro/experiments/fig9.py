@@ -16,7 +16,12 @@ from __future__ import annotations
 from repro.datasets.workload import make_workload
 from repro.experiments.config import Scale, active_scale
 from repro.experiments.data import DATASETS, build_upcr, build_utree, dataset_points
-from repro.experiments.harness import format_table, run_workload, total_cost_seconds
+from repro.experiments.harness import (
+    format_table,
+    run_workload,
+    run_workload_batched,
+    total_cost_seconds,
+)
 
 __all__ = ["run", "main", "QS_VALUES", "DEFAULT_PQ"]
 
@@ -29,9 +34,17 @@ def run(
     datasets: tuple[str, ...] = DATASETS,
     qs_values: tuple[float, ...] = QS_VALUES,
     pq: float = DEFAULT_PQ,
+    batched: bool = False,
 ) -> dict:
-    """Sweep qs per dataset; returns the three panel series for each."""
+    """Sweep qs per dataset; returns the three panel series for each.
+
+    ``batched=True`` runs each workload through the
+    :class:`~repro.exec.batch.BatchExecutor` (cross-query page dedup and
+    P_app memoisation) instead of query-at-a-time execution; logical I/O
+    panels are unchanged, wall-clock and physical reads drop.
+    """
     scale = scale if scale is not None else active_scale()
+    runner = run_workload_batched if batched else run_workload
     out: dict = {}
     for name in datasets:
         points = dataset_points(name, scale)
@@ -44,7 +57,7 @@ def run(
                 workload = make_workload(
                     points, scale.queries_per_workload, qs, pq, seed=300 + i
                 )
-                stats = run_workload(tree, workload)
+                stats = runner(tree, workload)
                 ios.append(stats.avg_node_accesses)
                 probs.append(stats.avg_prob_computations)
                 validated.append(stats.validated_percentage)

@@ -13,17 +13,31 @@ from collections.abc import Sequence
 
 from repro.core.query import ProbRangeQuery
 from repro.core.stats import WorkloadStats
+from repro.exec.batch import BatchExecutor
+from repro.exec.executor import execute_workload
 from repro.experiments.config import Scale
 
-__all__ = ["run_workload", "total_cost_seconds", "format_table"]
+__all__ = ["run_workload", "run_workload_batched", "total_cost_seconds", "format_table"]
 
 
 def run_workload(tree, queries: Sequence[ProbRangeQuery]) -> WorkloadStats:
-    """Run every query against ``tree`` (anything with ``.query``)."""
+    """Run every query against ``tree`` through the shared executor.
+
+    ``tree`` is any :class:`repro.exec.access.AccessMethod`; structures
+    without a filter phase (legacy/test doubles exposing only ``query``)
+    fall back to their own driver.
+    """
+    if hasattr(tree, "filter_candidates"):
+        return execute_workload(tree, queries)
     stats = WorkloadStats()
     for query in queries:
         stats.add(tree.query(query).stats)
     return stats
+
+
+def run_workload_batched(tree, queries: Sequence[ProbRangeQuery]) -> WorkloadStats:
+    """Run the workload through the batched executor (cross-query reuse)."""
+    return BatchExecutor(tree).run(queries).workload
 
 
 def total_cost_seconds(stats: WorkloadStats, scale: Scale) -> float:

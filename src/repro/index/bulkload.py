@@ -131,9 +131,14 @@ def _str_order(
         return order
 
     # Number of slabs along this axis: ceil((#nodes)^(1/remaining dims)).
+    # Slab sizes must be a multiple of the node capacity: otherwise node
+    # cuts straddle slab boundaries, and a straddling node mixes entries
+    # from the far edge of one slab with the near edge of the next —
+    # producing a box that spans the full secondary-axis range and ruins
+    # query I/O.
     remaining = dims - axis
     slabs = max(1, math.ceil(n_nodes ** (1.0 / remaining)))
-    slab_size = math.ceil(n / slabs)
+    slab_size = math.ceil(n_nodes / slabs) * capacity
     pieces = []
     for start in range(0, n, slab_size):
         chunk = order[start:start + slab_size]

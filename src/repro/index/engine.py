@@ -36,6 +36,7 @@ import numpy as np
 from repro.index import metrics
 from repro.index.node import Entry, Node
 from repro.index.split import rstar_split, rstar_split_profiles
+from repro.storage.bufferpool import BufferPool
 from repro.storage.layout import NodeLayout
 from repro.storage.pager import IOCounter, PageStore
 
@@ -52,6 +53,7 @@ class RStarEngine:
         layout: NodeLayout,
         *,
         io: IOCounter | None = None,
+        pool: BufferPool | None = None,
         chord_values: np.ndarray | None = None,
         split_layer: int | None = None,
         split_mode: str = "median-layer",
@@ -70,7 +72,7 @@ class RStarEngine:
         self.layers = layers
         self.layout = layout
         self.io = io if io is not None else IOCounter()
-        self.store = PageStore(self.io, layout.page_size)
+        self.store = PageStore(self.io, layout.page_size, pool=pool)
         self.split_mode = split_mode
         self.split_layer = layers // 2 if split_layer is None else split_layer
         if not 0 <= self.split_layer < layers:

@@ -1,5 +1,6 @@
-"""Simulated paged storage: I/O counting, data files, entry layouts."""
+"""Simulated paged storage: I/O counting, buffer pool, data files, layouts."""
 
+from repro.storage.bufferpool import BufferPool
 from repro.storage.layout import NodeLayout, rstar_layout, upcr_layout, utree_layout
 from repro.storage.pager import DEFAULT_PAGE_SIZE, DataFile, DiskAddress, IOCounter, PageStore
 
@@ -10,6 +11,7 @@ from repro.storage.pager import DEFAULT_PAGE_SIZE, DataFile, DiskAddress, IOCoun
 # or use the re-exports on the top-level repro package.
 
 __all__ = [
+    "BufferPool",
     "DEFAULT_PAGE_SIZE",
     "DataFile",
     "DiskAddress",

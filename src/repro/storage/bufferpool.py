@@ -1,0 +1,159 @@
+"""An LRU buffer pool between the access methods and the simulated disk.
+
+The paper charges every page access to the (simulated) disk, which is the
+right accounting for its single-query experiments.  A serving system runs
+*workloads*, and workloads have locality: consecutive queries revisit the
+same index nodes and data pages.  The :class:`BufferPool` models the
+memory layer that exploits that locality — a fixed-capacity LRU cache of
+``(file, page)`` frames with hit/miss accounting.
+
+Accounting contract (relied on by the experiment harness and tests):
+
+* a **logical** read is any page request made by an access method;
+* a **physical** read is a logical read that missed the pool (or any read
+  when no pool is attached / capacity is 0) — only these are charged to
+  :class:`repro.storage.pager.IOCounter.reads`;
+* with ``capacity=0`` the pool never retains a frame, so every logical
+  read is physical and all counters reproduce the uncached (paper) numbers
+  exactly.
+
+Pages in this simulator are live Python objects, so the pool caches only
+*identities*; hits skip the I/O charge, nothing else.  Writes are
+write-through: they always cost a physical write, and the written frame is
+retained (a just-written page is in memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BufferPool", "charge_page_read"]
+
+
+def charge_page_read(io, pool: "BufferPool | None", file_id: int, page_id: int) -> bool:
+    """Charge one logical page read to ``io``, routing through ``pool``.
+
+    The single place that encodes the accounting contract: a pool hit
+    costs a cache hit, anything else a physical read.  Returns True on a
+    pool hit.
+    """
+    if pool is not None and pool.access(file_id, page_id):
+        io.record_cache_hit()
+        return True
+    io.record_read()
+    return False
+
+
+class BufferPool:
+    """A shared LRU cache of ``(file_id, page_id)`` frames.
+
+    One pool may back several page files (an index's node store plus its
+    data file, or several trees in a batch harness); each backing file
+    registers itself to obtain a distinct ``file_id`` namespace.
+
+    Args:
+        capacity: maximum number of frames held.  ``0`` disables caching
+            (every access is a miss and nothing is retained), reproducing
+            uncached I/O accounting exactly.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._frames: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._next_file_id = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_file(self) -> int:
+        """Reserve a fresh file-id namespace for one backing page file."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        return file_id
+
+    # ------------------------------------------------------------------
+    # the cache protocol
+    # ------------------------------------------------------------------
+    def access(self, file_id: int, page_id: int) -> bool:
+        """Request one page; returns True on a hit, False on a miss.
+
+        A miss loads the frame (evicting the least-recently-used frame if
+        the pool is full); a hit refreshes its recency.
+        """
+        key = (file_id, page_id)
+        if key in self._frames:
+            self._frames.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._load(key)
+        return False
+
+    def admit(self, file_id: int, page_id: int) -> None:
+        """Retain a frame without charging a hit or miss.
+
+        Used by write paths: a page just written is resident in memory, so
+        the next read of it should hit.
+        """
+        key = (file_id, page_id)
+        if key in self._frames:
+            self._frames.move_to_end(key)
+        else:
+            self._load(key)
+
+    def invalidate(self, file_id: int, page_id: int) -> None:
+        """Drop a frame (page freed/deallocated); no-op when absent."""
+        self._frames.pop((file_id, page_id), None)
+
+    def clear(self) -> None:
+        """Drop every frame (counters are kept)."""
+        self._frames.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (frames are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _load(self, key: tuple[int, int]) -> None:
+        if self.capacity == 0:
+            return
+        self._frames[key] = None
+        if len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._frames
+
+    @property
+    def accesses(self) -> int:
+        """Total logical accesses routed through the pool."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory (0.0 when unused)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def resident_pages(self) -> list[tuple[int, int]]:
+        """Frames currently held, least- to most-recently used."""
+        return list(self._frames)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self.capacity}, resident={len(self._frames)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -16,27 +16,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.storage.bufferpool import BufferPool, charge_page_read
+
 __all__ = ["DEFAULT_PAGE_SIZE", "IOCounter", "DiskAddress", "DataFile", "PageStore"]
 
 DEFAULT_PAGE_SIZE = 4096
 
 
 class IOCounter:
-    """Counts logical page reads and writes.
+    """Counts physical page reads/writes plus cache-served logical reads.
 
     The same counter instance is shared by an index and its data file so a
     query's total I/O (filter-step node accesses + refinement-step data
     pages) accumulates in one place.
+
+    ``reads``/``writes`` count *physical* (disk) accesses — with no buffer
+    pool attached every logical read is physical, which is the paper's
+    accounting.  When a :class:`~repro.storage.bufferpool.BufferPool`
+    serves a read from memory the page file records a ``cache hit``
+    instead, so ``logical_reads = reads + cache_hits`` while ``reads``
+    keeps its uncached meaning.
     """
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.cache_hits = 0
 
     @property
     def total(self) -> int:
-        """Reads plus writes."""
+        """Physical reads plus writes."""
         return self.reads + self.writes
+
+    @property
+    def logical_reads(self) -> int:
+        """All read requests, whether served by disk or by the pool."""
+        return self.reads + self.cache_hits
 
     def record_read(self, pages: int = 1) -> None:
         self.reads += pages
@@ -44,21 +59,28 @@ class IOCounter:
     def record_write(self, pages: int = 1) -> None:
         self.writes += pages
 
+    def record_cache_hit(self, pages: int = 1) -> None:
+        self.cache_hits += pages
+
     def reset(self) -> None:
-        """Zero both counters."""
+        """Zero all counters."""
         self.reads = 0
         self.writes = 0
+        self.cache_hits = 0
 
     def snapshot(self) -> tuple[int, int]:
         """Current ``(reads, writes)`` pair, for delta measurements."""
         return (self.reads, self.writes)
 
     def delta(self, snapshot: tuple[int, int]) -> tuple[int, int]:
-        """Reads/writes accumulated since ``snapshot``."""
+        """Physical reads/writes accumulated since ``snapshot``."""
         return (self.reads - snapshot[0], self.writes - snapshot[1])
 
     def __repr__(self) -> str:
-        return f"IOCounter(reads={self.reads}, writes={self.writes})"
+        return (
+            f"IOCounter(reads={self.reads}, writes={self.writes}, "
+            f"cache_hits={self.cache_hits})"
+        )
 
 
 @dataclass(frozen=True)
@@ -90,11 +112,19 @@ class DataFile:
     disk address referenced from the leaf entry.
     """
 
-    def __init__(self, io: IOCounter | None = None, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        io: IOCounter | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        pool: BufferPool | None = None,
+    ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self.io = io if io is not None else IOCounter()
+        self.pool = pool
+        self._pool_file_id = pool.register_file() if pool is not None else -1
         self._pages: list[_DataPage] = []
 
     def append(self, payload: Any, size_bytes: int) -> DiskAddress:
@@ -105,19 +135,24 @@ class DataFile:
         if not self._pages or self._pages[-1].used_bytes + record > self.page_size:
             self._pages.append(_DataPage())
             self.io.record_write()
+            if self.pool is not None:
+                self.pool.admit(self._pool_file_id, len(self._pages) - 1)
         page = self._pages[-1]
         page.payloads.append(payload)
         page.used_bytes += record
         return DiskAddress(len(self._pages) - 1, len(page.payloads) - 1)
 
+    def _charge_read(self, page_id: int) -> None:
+        charge_page_read(self.io, self.pool, self._pool_file_id, page_id)
+
     def read(self, address: DiskAddress) -> Any:
-        """Fetch one record, costing one page read."""
-        self.io.record_read()
+        """Fetch one record, costing one page read (unless pooled)."""
+        self._charge_read(address.page_id)
         return self._pages[address.page_id].payloads[address.slot]
 
     def read_page(self, page_id: int) -> list[Any]:
-        """Fetch every record on a page with a single page read."""
-        self.io.record_read()
+        """Fetch every record on a page with a single page read (unless pooled)."""
+        self._charge_read(page_id)
         return list(self._pages[page_id].payloads)
 
     @property
@@ -137,11 +172,19 @@ class PageStore:
     page read, writing a node during an update costs one page write.
     """
 
-    def __init__(self, io: IOCounter | None = None, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        io: IOCounter | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        pool: BufferPool | None = None,
+    ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self.io = io if io is not None else IOCounter()
+        self.pool = pool
+        self._pool_file_id = pool.register_file() if pool is not None else -1
         self._next_id = 0
         self._live: set[int] = set()
 
@@ -155,18 +198,22 @@ class PageStore:
     def free(self, page_id: int) -> None:
         """Release a page (no I/O charged)."""
         self._live.discard(page_id)
+        if self.pool is not None:
+            self.pool.invalidate(self._pool_file_id, page_id)
 
     def touch_read(self, page_id: int) -> None:
-        """Charge one page read for visiting ``page_id``."""
+        """Charge one page read for visiting ``page_id`` (unless pooled)."""
         if page_id not in self._live:
             raise KeyError(f"page {page_id} is not allocated")
-        self.io.record_read()
+        charge_page_read(self.io, self.pool, self._pool_file_id, page_id)
 
     def touch_write(self, page_id: int) -> None:
-        """Charge one page write for flushing ``page_id``."""
+        """Charge one page write for flushing ``page_id`` (write-through)."""
         if page_id not in self._live:
             raise KeyError(f"page {page_id} is not allocated")
         self.io.record_write()
+        if self.pool is not None:
+            self.pool.admit(self._pool_file_id, page_id)
 
     @property
     def page_count(self) -> int:

@@ -1,0 +1,223 @@
+"""Tests for the LRU buffer pool and its pager integration.
+
+The load-bearing contract: with no pool (or a capacity-0 pool) every
+counter reproduces the paper's uncached accounting exactly; with a warm
+pool, physical reads drop while all *logical* numbers (node accesses,
+data-page reads, query answers) are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.storage.bufferpool import BufferPool
+from repro.storage.pager import DataFile, IOCounter, PageStore
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+
+class TestBufferPoolLRU:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        fid = pool.register_file()
+        assert pool.access(fid, 0) is False
+        assert pool.access(fid, 0) is True
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.accesses == 2
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        fid = pool.register_file()
+        pool.access(fid, 1)
+        pool.access(fid, 2)
+        pool.access(fid, 3)  # evicts page 1 (least recently used)
+        assert pool.evictions == 1
+        assert pool.resident_pages() == [(fid, 2), (fid, 3)]
+        assert pool.access(fid, 1) is False  # 1 was evicted -> evicts 2
+        assert pool.access(fid, 3) is True
+        assert pool.access(fid, 2) is False
+
+    def test_access_refreshes_recency(self):
+        pool = BufferPool(2)
+        fid = pool.register_file()
+        pool.access(fid, 1)
+        pool.access(fid, 2)
+        pool.access(fid, 1)  # 1 becomes most recent; 2 is now LRU
+        pool.access(fid, 3)  # evicts 2, not 1
+        assert pool.access(fid, 1) is True
+        assert (fid, 2) not in pool
+
+    def test_capacity_zero_never_retains(self):
+        pool = BufferPool(0)
+        fid = pool.register_file()
+        for _ in range(5):
+            assert pool.access(fid, 7) is False
+        assert pool.hits == 0
+        assert pool.misses == 5
+        assert len(pool) == 0
+
+    def test_file_namespaces_are_distinct(self):
+        pool = BufferPool(4)
+        fa = pool.register_file()
+        fb = pool.register_file()
+        pool.access(fa, 0)
+        assert pool.access(fb, 0) is False  # same page id, different file
+        assert pool.access(fa, 0) is True
+
+    def test_admit_and_invalidate(self):
+        pool = BufferPool(2)
+        fid = pool.register_file()
+        pool.admit(fid, 9)
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.access(fid, 9) is True
+        pool.invalidate(fid, 9)
+        assert pool.access(fid, 9) is False
+        pool.invalidate(fid, 12345)  # absent frame: no-op
+
+    def test_clear_and_reset_counters(self):
+        pool = BufferPool(4)
+        fid = pool.register_file()
+        pool.access(fid, 1)
+        pool.access(fid, 1)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.hits == 1  # counters survive clear()
+        pool.reset_counters()
+        assert pool.hits == 0 and pool.misses == 0 and pool.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(-1)
+
+
+class TestPagerIntegration:
+    def test_pagestore_reads_route_through_pool(self):
+        io = IOCounter()
+        pool = BufferPool(8)
+        store = PageStore(io, pool=pool)
+        page = store.allocate()
+        store.touch_read(page)
+        store.touch_read(page)
+        assert io.reads == 1  # second read was a pool hit
+        assert io.cache_hits == 1
+        assert io.logical_reads == 2
+
+    def test_pagestore_write_through_admits_frame(self):
+        io = IOCounter()
+        pool = BufferPool(8)
+        store = PageStore(io, pool=pool)
+        page = store.allocate()
+        store.touch_write(page)
+        assert io.writes == 1
+        store.touch_read(page)  # just-written page is resident
+        assert io.reads == 0
+        assert io.cache_hits == 1
+
+    def test_pagestore_free_invalidates_frame(self):
+        io = IOCounter()
+        pool = BufferPool(8)
+        store = PageStore(io, pool=pool)
+        page = store.allocate()
+        store.touch_read(page)
+        assert (store._pool_file_id, page) in pool
+        store.free(page)
+        assert (store._pool_file_id, page) not in pool
+
+    def test_datafile_reads_route_through_pool(self):
+        io = IOCounter()
+        pool = BufferPool(8)
+        f = DataFile(io, page_size=64, pool=pool)
+        addr = f.append("x", 40)
+        io.reset()
+        pool.clear()
+        f.read_page(addr.page_id)
+        f.read(addr)
+        assert io.reads == 1
+        assert io.cache_hits == 1
+
+    def test_no_pool_behaviour_unchanged(self):
+        io = IOCounter()
+        store = PageStore(io)
+        page = store.allocate()
+        store.touch_read(page)
+        store.touch_read(page)
+        assert io.reads == 2
+        assert io.cache_hits == 0
+        assert io.logical_reads == 2
+
+
+def _objects(n: int, dim: int = 2, radius: float = 250.0) -> list[UncertainObject]:
+    rng = np.random.default_rng(13)
+    centres = rng.uniform(0, 10_000, (n, dim))
+    return [
+        UncertainObject(i, UniformDensity(BallRegion(centres[i], radius)))
+        for i in range(n)
+    ]
+
+
+def _workload(n: int, dim: int = 2, qs: float = 1500.0) -> list[ProbRangeQuery]:
+    rng = np.random.default_rng(29)
+    centres = rng.uniform(1000, 9000, (n, dim))
+    return [
+        ProbRangeQuery(Rect.from_center(c, qs / 2.0), threshold=0.5) for c in centres
+    ]
+
+
+class TestCapacityZeroReproducesSeedCounts:
+    """A capacity-0 pool must be indistinguishable from no pool at all."""
+
+    def test_utree_fixed_workload_page_counts_identical(self):
+        objects = _objects(120)
+        workload = _workload(12)
+
+        plain = UTree(2)
+        pooled = UTree(2, pool=BufferPool(0))
+        for obj in objects:
+            plain.insert(obj)
+            pooled.insert(obj)
+
+        plain.io.reset()
+        pooled.io.reset()
+        for query in workload:
+            a = plain.query(query)
+            b = pooled.query(query)
+            assert a.object_ids == b.object_ids
+            assert a.stats.node_accesses == b.stats.node_accesses
+            assert a.stats.data_page_reads == b.stats.data_page_reads
+            assert b.stats.cache_hits == 0
+            assert b.stats.physical_reads == a.stats.physical_reads
+
+        assert pooled.io.reads == plain.io.reads
+        assert pooled.io.writes == plain.io.writes
+        assert pooled.io.cache_hits == 0
+
+    def test_warm_pool_same_logical_fewer_physical(self):
+        objects = _objects(120)
+        workload = _workload(12)
+
+        plain = UTree(2)
+        pooled = UTree(2, pool=BufferPool(512))
+        for obj in objects:
+            plain.insert(obj)
+            pooled.insert(obj)
+
+        plain.io.reset()
+        pooled.io.reset()
+        for query in workload:
+            a = plain.query(query)
+            b = pooled.query(query)
+            assert a.object_ids == b.object_ids
+            # Logical accounting (the paper's metric) is pool-independent.
+            assert a.stats.node_accesses == b.stats.node_accesses
+            assert a.stats.data_page_reads == b.stats.data_page_reads
+
+        assert pooled.io.reads < plain.io.reads
+        assert pooled.io.cache_hits > 0
+        assert pooled.io.logical_reads == plain.io.logical_reads

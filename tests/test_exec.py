@@ -1,0 +1,346 @@
+"""Tests for the unified query-execution layer (repro.exec).
+
+Covers: the AccessMethod protocol across all three structures, the shared
+single-query executor, the batched executor's page dedup + P_app memo,
+the cost-model planner, and the update-measurement helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery, QueryAnswer
+from repro.core.scan import SequentialScan
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UTree
+from repro.exec import (
+    AccessMethod,
+    BatchExecutor,
+    Planner,
+    QueryExecutor,
+    ScanCostModel,
+    execute_query,
+    execute_workload,
+    measure_delete_drain,
+    measure_insert_build,
+)
+from repro.geometry.rect import Rect
+from repro.storage.bufferpool import BufferPool
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+
+def _objects(n: int, seed: int = 3) -> list[UncertainObject]:
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0, 10_000, (n, 2))
+    return [
+        UncertainObject(i, UniformDensity(BallRegion(centres[i], 250.0)))
+        for i in range(n)
+    ]
+
+
+def _workload(n: int, qs: float = 1500.0, pq: float = 0.5, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(1000, 9000, (n, 2))
+    return [ProbRangeQuery(Rect.from_center(c, qs / 2.0), pq) for c in centres]
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _objects(150)
+
+
+@pytest.fixture(scope="module")
+def utree(objects):
+    tree = UTree(2, estimator=AppearanceEstimator(n_samples=2000, seed=1))
+    for obj in objects:
+        tree.insert(obj)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def upcr(objects):
+    tree = UPCRTree(2, estimator=AppearanceEstimator(n_samples=2000, seed=1))
+    for obj in objects:
+        tree.insert(obj)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def scan(objects):
+    s = SequentialScan(2, estimator=AppearanceEstimator(n_samples=2000, seed=1))
+    for obj in objects:
+        s.insert(obj)
+    return s
+
+
+class TestAccessMethodProtocol:
+    def test_all_structures_satisfy_protocol(self, utree, upcr, scan):
+        for method in (utree, upcr, scan):
+            assert isinstance(method, AccessMethod)
+
+    def test_filter_result_accounts_every_object(self, utree, upcr, scan, objects):
+        query = _workload(1)[0]
+        # The scan classifies every object individually.
+        filtered = scan.filter_candidates(query)
+        total = len(filtered.validated) + len(filtered.candidates) + filtered.pruned
+        assert total == len(objects)
+        # Trees prune whole subtrees, so per-object counts only bound n.
+        for method in (utree, upcr):
+            filtered = method.filter_candidates(query)
+            total = len(filtered.validated) + len(filtered.candidates) + filtered.pruned
+            assert 0 < total <= len(objects)
+            assert filtered.node_accesses > 0
+
+    def test_filter_charges_io(self, utree):
+        query = _workload(1)[0]
+        before = utree.io.reads
+        filtered = utree.filter_candidates(query)
+        assert utree.io.reads - before == filtered.node_accesses
+
+
+class TestSharedExecutor:
+    def test_execute_query_matches_structure_query(self, utree, upcr, scan):
+        for method in (utree, upcr, scan):
+            for query in _workload(5):
+                direct = method.query(query)
+                via_exec = execute_query(method, query)
+                assert direct.object_ids == via_exec.object_ids
+                assert direct.stats.node_accesses == via_exec.stats.node_accesses
+                assert direct.stats.data_page_reads == via_exec.stats.data_page_reads
+
+    def test_structures_agree_on_answers(self, utree, upcr, scan):
+        # U-tree and scan share identical CFB summaries and the same
+        # refinement, so they agree exactly.  U-PCR's exact-PCR rules can
+        # validate a borderline object the Monte-Carlo estimate would
+        # reject (both are correct answers); allow a tiny discrepancy.
+        for query in _workload(6):
+            u = set(execute_query(utree, query).object_ids)
+            s = set(execute_query(scan, query).object_ids)
+            p = set(execute_query(upcr, query).object_ids)
+            assert u == s
+            assert len(u.symmetric_difference(p)) <= 2
+
+    def test_physical_reads_match_logical_without_pool(self, utree):
+        query = _workload(1)[0]
+        answer = execute_query(utree, query)
+        assert answer.stats.physical_reads == answer.stats.total_io
+        assert answer.stats.cache_hits == 0
+
+    def test_executor_run_aggregates(self, utree):
+        workload = _workload(4)
+        stats = QueryExecutor(utree).run(workload)
+        assert stats.count == 4
+        assert stats.avg_node_accesses > 0
+        stats2 = execute_workload(utree, workload)
+        assert stats2.avg_node_accesses == stats.avg_node_accesses
+
+
+class TestBatchExecutor:
+    def test_answers_identical_to_sequential(self, utree):
+        workload = _workload(8)
+        sequential = [execute_query(utree, q) for q in workload]
+        batched = BatchExecutor(utree).run(workload)
+        assert [a.object_ids for a in batched.answers] == [
+            a.object_ids for a in sequential
+        ]
+
+    def test_logical_stats_preserved(self, utree):
+        workload = _workload(8)
+        sequential = [execute_query(utree, q) for q in workload]
+        batched = BatchExecutor(utree).run(workload)
+        for seq, bat in zip(sequential, batched.answers):
+            assert bat.stats.node_accesses == seq.stats.node_accesses
+            assert bat.stats.data_page_reads == seq.stats.data_page_reads
+
+    def test_page_dedup_on_overlapping_workload(self, utree):
+        workload = _workload(6) * 2  # every query repeated: full overlap
+        result = BatchExecutor(utree).run(workload)
+        assert result.batch.unique_data_pages < result.batch.logical_data_page_reads
+        assert result.batch.data_page_fetches == result.batch.unique_data_pages
+        assert result.batch.data_pages_saved > 0
+
+    def test_dedupe_disabled_reports_no_savings(self, utree):
+        workload = _workload(6) * 2
+        result = BatchExecutor(utree, dedupe_pages=False).run(workload)
+        assert result.batch.data_page_fetches == result.batch.logical_data_page_reads
+        assert result.batch.data_pages_saved == 0
+
+    def test_per_query_physical_reads_filled(self, utree):
+        # Uncached tree: each query's filter charges its node accesses
+        # physically; phase-2 shared fetches are batch-level only.
+        workload = _workload(6)
+        result = BatchExecutor(utree).run(workload)
+        assert result.workload.total_physical_reads == sum(
+            q.node_accesses for q in result.workload.queries
+        )
+        assert result.batch.physical_reads == (
+            result.workload.total_physical_reads + result.batch.data_page_fetches
+        )
+        # With dedupe off, refinement reads are attributed per query too.
+        undeduped = BatchExecutor(utree, dedupe_pages=False).run(workload)
+        assert undeduped.workload.total_physical_reads == sum(
+            q.node_accesses + q.data_page_reads for q in undeduped.workload.queries
+        )
+
+    def test_memo_hits_on_repeated_rectangles(self, utree):
+        workload = _workload(6)
+        executor = BatchExecutor(utree)
+        first = executor.run(workload)
+        assert first.batch.memo_hits == 0  # distinct rectangles, cold memo
+        second = executor.run(workload)
+        assert second.batch.memo_hits == first.batch.prob_computations
+        assert second.batch.prob_computations == 0
+        assert [a.object_ids for a in second.answers] == [
+            a.object_ids for a in first.answers
+        ]
+
+    def test_memo_spans_threshold_sweep(self, utree):
+        # The Fig. 10 access pattern: one set of rectangles swept across
+        # thresholds.  Candidate sets at nearby thresholds overlap, so a
+        # persistent memo computes strictly fewer P_apps than a memo-less
+        # executor over the whole sweep — with identical answers.
+        base = _workload(8)
+        thresholds = (0.3, 0.45, 0.6, 0.75, 0.9)
+        memo_exec = BatchExecutor(utree)
+        plain_exec = BatchExecutor(utree, memoize=False)
+        memo_computed = plain_computed = memo_hits = 0
+        for pq in thresholds:
+            swept = [ProbRangeQuery(q.rect, pq) for q in base]
+            with_memo = memo_exec.run(swept)
+            without = plain_exec.run(swept)
+            memo_computed += with_memo.batch.prob_computations
+            memo_hits += with_memo.batch.memo_hits
+            plain_computed += without.batch.prob_computations
+            assert [a.object_ids for a in with_memo.answers] == [
+                a.object_ids for a in without.answers
+            ]
+        assert memo_hits > 0
+        assert memo_computed < plain_computed
+        assert memo_computed + memo_hits == plain_computed
+
+    def test_memoize_disabled(self, utree):
+        workload = _workload(4) * 2
+        result = BatchExecutor(utree, memoize=False).run(workload)
+        assert result.batch.memo_hits == 0
+        assert result.batch.prob_computations > 0
+
+    def test_clear_memo(self, utree):
+        executor = BatchExecutor(utree)
+        executor.run(_workload(4))
+        assert executor.memo_size > 0
+        executor.clear_memo()
+        assert executor.memo_size == 0
+
+    def test_works_for_scan_and_upcr(self, upcr, scan):
+        workload = _workload(4)
+        for method in (upcr, scan):
+            expected = [execute_query(method, q).object_ids for q in workload]
+            result = BatchExecutor(method).run(workload)
+            assert [a.object_ids for a in result.answers] == expected
+
+
+class TestBatchWithBufferPool:
+    def test_warm_pool_eliminates_physical_rereads(self):
+        objects = _objects(150)
+        pool = BufferPool(1024)
+        tree = UTree(2, pool=pool, estimator=AppearanceEstimator(n_samples=2000, seed=1))
+        for obj in objects:
+            tree.insert(obj)
+        pool.clear()  # cold cache: drop frames admitted during the build
+        workload = _workload(6) * 2
+        tree.io.reset()
+        result = BatchExecutor(tree).run(workload)
+        assert result.batch.cache_hits > 0
+        logical = sum(q.total_io for q in result.workload.queries)
+        assert result.batch.physical_reads < logical
+        # Second identical batch: everything is resident, zero disk reads.
+        tree.io.reset()
+        again = BatchExecutor(tree).run(workload)
+        assert again.batch.physical_reads == 0
+        assert again.batch.cache_hits > 0
+
+
+class TestPlanner:
+    def test_plan_picks_cheapest(self, utree, scan):
+        planner = Planner()
+        planner.register("a", utree, lambda q: 10.0)
+        planner.register("b", scan, lambda q: 5.0)
+        decision = planner.plan(_workload(1)[0])
+        assert decision.choice == "b"
+        assert decision.estimates == {"a": 10.0, "b": 5.0}
+
+    def test_duplicate_registration_rejected(self, utree):
+        planner = Planner()
+        planner.register("a", utree, lambda q: 1.0)
+        with pytest.raises(ValueError):
+            planner.register("a", utree, lambda q: 2.0)
+
+    def test_empty_planner_rejected(self, utree):
+        with pytest.raises(RuntimeError):
+            Planner().plan(_workload(1)[0])
+        with pytest.raises(ValueError):
+            Planner.for_structures()
+
+    def test_for_structures_selective_queries_prefer_tree(self, utree, scan):
+        planner = Planner.for_structures(utree=utree, scan=scan, data_records_per_page=40)
+        report = planner.run(_workload(6, qs=800.0))
+        assert report.choice_counts().get("utree", 0) == 6
+
+    def test_planned_answers_match_direct_execution(self, utree, upcr, scan):
+        planner = Planner.for_structures(
+            utree=utree, upcr=upcr, scan=scan, data_records_per_page=40
+        )
+        for query in _workload(5):
+            answer, decision = planner.execute(query)
+            direct = execute_query(planner[decision.choice], query)
+            assert answer.object_ids == direct.object_ids
+
+    def test_scan_cost_model_prices_scan_constant_plus_refinement(self, scan):
+        model = ScanCostModel(scan)
+        small = _workload(1, qs=200.0)[0]
+        large = _workload(1, qs=8000.0)[0]
+        assert model.total_io(small) >= scan.scan_pages
+        assert model.total_io(large) > model.total_io(small)
+
+    def test_report_aggregates(self, utree, scan):
+        planner = Planner.for_structures(utree=utree, scan=scan, data_records_per_page=40)
+        report = planner.run(_workload(4))
+        assert report.workload.count == 4
+        assert len(report.decisions) == len(report.answers) == 4
+
+
+class TestUpdateMeasurement:
+    def test_insert_build_and_delete_drain(self):
+        objects = _objects(40, seed=9)
+        tree = UTree(2)
+        costs = measure_insert_build(tree, objects)
+        assert len(costs) == len(objects)
+        assert len(tree) == len(objects)
+        assert all(c.io_writes > 0 for c in costs)
+        drain = measure_delete_drain(
+            tree, [o.oid for o in objects], np.random.default_rng(4)
+        )
+        assert len(drain) == len(objects)
+        assert len(tree) == 0
+
+    def test_delete_drain_raises_on_missing_oid(self):
+        objects = _objects(10, seed=9)
+        tree = UTree(2)
+        measure_insert_build(tree, objects)
+        with pytest.raises(KeyError):
+            measure_delete_drain(tree, [999_999], np.random.default_rng(0))
+
+
+class TestQueryAnswerContains:
+    def test_membership_tracks_appends(self):
+        answer = QueryAnswer()
+        answer.object_ids.append(1)
+        assert 1 in answer
+        assert 2 not in answer
+        answer.object_ids.append(2)  # cache must refresh on growth
+        assert 2 in answer
+        assert 1 in answer
