@@ -1,0 +1,193 @@
+"""Benches for the vectorized sample-reuse refinement engine.
+
+The acceptance contract of the refinement engine:
+
+* on a shared workload (many queries revisiting the same objects) the
+  batched engine performs **strictly fewer density evaluations** than
+  per-pair estimation — it draws each object's cloud once where the
+  per-pair path re-draws per ``(object, query)`` pair;
+* engine throughput is **at least 3x** the per-pair estimator on a
+  200-query shared workload;
+* every value is **bit-identical** to the per-pair estimator (asserted
+  with ``==``).
+
+The headline numbers are written to a ``BENCH_refine.json`` artifact
+(path overridable via ``REPRO_BENCH_ARTIFACT``) for the CI perf-smoke
+job.  ``REPRO_BENCH_SAMPLES`` shrinks the Monte-Carlo budget for smoke
+runs; the defaults match the bench scale used by the other suites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.exec import BatchExecutor, RefinementEngine, execute_query
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "4000"))
+SEED = 7
+N_QUERIES = 200
+ARTIFACT = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_refine.json")
+
+
+def _objects(n: int = 48) -> list[UncertainObject]:
+    rng = np.random.default_rng(61)
+    centres = rng.uniform(3000, 7000, (n, 2))
+    return [
+        UncertainObject(i, UniformDensity(BallRegion(centres[i], 300.0)))
+        for i in range(n)
+    ]
+
+
+def _shared_pairs(objects) -> list[tuple[UncertainObject, Rect]]:
+    """A 200-query workload whose pairs all need real Monte-Carlo work.
+
+    Queries cluster over the object field, so the same objects recur as
+    candidates across many queries — the reuse profile of Figs. 9-10.
+    Containment/disjoint pairs are excluded because both paths answer
+    them without sampling.
+    """
+    rng = np.random.default_rng(83)
+    pairs = []
+    for _ in range(N_QUERIES):
+        centre = rng.uniform(3000, 7000, 2)
+        rect = Rect.from_center(centre, rng.uniform(400.0, 900.0))
+        for obj in objects:
+            mbr = obj.mbr
+            if rect.intersects(mbr) and not rect.contains(mbr):
+                pairs.append((obj, rect))
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _objects()
+
+
+@pytest.fixture(scope="module")
+def shared_pairs(objects):
+    pairs = _shared_pairs(objects)
+    assert len(pairs) > 400  # a genuinely shared workload
+    return pairs
+
+
+class TestEngineAcceptance:
+    def test_fewer_density_evals_and_3x_throughput(self, objects, shared_pairs):
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        baseline_start = time.perf_counter()
+        baseline = [
+            estimator.estimate(obj.pdf, rect, object_id=obj.oid)
+            for obj, rect in shared_pairs
+        ]
+        baseline_seconds = time.perf_counter() - baseline_start
+        # Every pair partially overlaps, so the per-pair path re-drew and
+        # re-weighted the object's cloud once per pair.
+        baseline_density_evals = len(shared_pairs)
+
+        engine = RefinementEngine(n_samples=N_SAMPLES, seed=SEED)
+        engine_start = time.perf_counter()
+        batched = engine.estimate_batch(shared_pairs)
+        engine_seconds = time.perf_counter() - engine_start
+
+        assert batched == baseline  # bit-identical, not approximately
+        # Strictly fewer density evaluations: one draw per *object*, not
+        # per pair.
+        assert engine.density_evaluations < baseline_density_evals
+        assert engine.density_evaluations <= len(objects)
+
+        speedup = baseline_seconds / max(engine_seconds, 1e-12)
+        # Wall-clock is hostage to runner load; the fail-fast correctness
+        # matrix sets REPRO_SKIP_PERF_ASSERT so a noisy neighbour cannot
+        # fail a correctness build — the perf-smoke job (and local runs)
+        # keep the 3x contract armed.
+        if not os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+            assert speedup >= 3.0, (
+                f"engine speedup {speedup:.2f}x below the 3x contract "
+                f"({baseline_seconds:.3f}s vs {engine_seconds:.3f}s)"
+            )
+
+        with open(ARTIFACT, "w") as fh:
+            json.dump(
+                {
+                    "n_samples": N_SAMPLES,
+                    "queries": N_QUERIES,
+                    "pairs": len(shared_pairs),
+                    "objects": len(objects),
+                    "baseline_seconds": baseline_seconds,
+                    "engine_seconds": engine_seconds,
+                    "speedup": speedup,
+                    "baseline_density_evaluations": baseline_density_evals,
+                    "engine_density_evaluations": engine.density_evaluations,
+                    "pairs_per_second_baseline": len(shared_pairs) / baseline_seconds,
+                    "pairs_per_second_engine": len(shared_pairs)
+                    / max(engine_seconds, 1e-12),
+                },
+                fh,
+                indent=2,
+            )
+
+    def test_warm_engine_throughput(self, benchmark, shared_pairs):
+        engine = RefinementEngine(n_samples=N_SAMPLES, seed=SEED)
+        engine.estimate_batch(shared_pairs)  # warm the sample cache
+        result = benchmark(engine.estimate_batch, shared_pairs)
+        assert len(result) == len(shared_pairs)
+        benchmark.extra_info["pairs"] = len(shared_pairs)
+        benchmark.extra_info["sample_cache_hit_rate"] = round(
+            engine.cache.hit_rate, 4
+        )
+
+
+class TestParallelBatchOverlap:
+    """Thread-pool phase overlap on a tree workload with simulated latency."""
+
+    @pytest.fixture(scope="class")
+    def tree(self, objects):
+        tree = UTree(2, estimator=AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED))
+        for obj in objects:
+            tree.insert(obj)
+        return tree
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(19)
+        return [
+            ProbRangeQuery(Rect.from_center(rng.uniform(3000, 7000, 2), 800.0), 0.5)
+            for _ in range(24)
+        ]
+
+    def test_parallel_answers_match_serial_with_latency(self, tree, workload):
+        expected = [execute_query(tree, q).object_ids for q in workload]
+        latency = 0.002
+        serial = BatchExecutor(
+            tree, parallelism=1, io_latency_seconds=latency
+        ).run(workload)
+        parallel = BatchExecutor(
+            tree, parallelism=4, io_latency_seconds=latency
+        ).run(workload)
+        assert [a.object_ids for a in serial.answers] == expected
+        assert [a.object_ids for a in parallel.answers] == expected
+        # The parallel run actually slept in its fetch thread (simulated
+        # I/O) while refinement proceeded — fetch wall-clock is real, and
+        # total wall-clock must not pay fetch + refine strictly serially.
+        assert parallel.batch.fetch_seconds >= (
+            latency * parallel.batch.data_page_fetches
+        )
+
+    def test_parallel_workload_throughput(self, benchmark, tree, workload):
+        executor = BatchExecutor(tree, parallelism=4)
+        executor.run(workload)  # warm sample cache and memo
+        result = benchmark(executor.run, workload)
+        assert result.workload.count == len(workload)
+        benchmark.extra_info["parallelism"] = 4
+        benchmark.extra_info["memo_hit_rate"] = round(result.batch.memo_hit_rate, 3)

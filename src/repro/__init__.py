@@ -45,12 +45,18 @@ from repro.exec.access import AccessMethod, FilterResult
 from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
 from repro.exec.executor import QueryExecutor, execute_query, execute_workload
 from repro.exec.planner import Planner, PlanReport, PlannedQuery, ScanCostModel
+from repro.exec.refine import RefinementEngine, refine_with_engine
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pager import DataFile, DiskAddress, IOCounter
 from repro.storage.serialize import load_utree, save_utree
-from repro.uncertainty.montecarlo import AppearanceEstimator, estimate_appearance_probability
+from repro.uncertainty.montecarlo import (
+    AppearanceEstimator,
+    ObjectSamples,
+    SampleCache,
+    estimate_appearance_probability,
+)
 from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.pdfs import (
     ConstrainedGaussianDensity,
@@ -89,6 +95,7 @@ __all__ = [
     "MixtureDensity",
     "NNCandidate",
     "NNResult",
+    "ObjectSamples",
     "PCRRules",
     "PCRSet",
     "PlanReport",
@@ -99,9 +106,11 @@ __all__ = [
     "QueryExecutor",
     "QueryStats",
     "RStarTree",
+    "RefinementEngine",
     "ScanCostModel",
     "RadialExponentialDensity",
     "Rect",
+    "SampleCache",
     "SequentialScan",
     "UCatalog",
     "UPCRTree",
@@ -124,6 +133,7 @@ __all__ = [
     "load_utree",
     "poisson_histogram",
     "probabilistic_nearest_neighbors",
+    "refine_with_engine",
     "save_utree",
     "tabulate_density",
     "zipf_histogram",

@@ -71,12 +71,19 @@ def refine_candidates(
     stats: QueryStats,
     results: list[int],
 ) -> None:
-    """The refinement step shared by every access method.
+    """The paper's refinement step, in its simplest standalone form.
 
     Candidates are grouped by data page; each page is fetched once and the
     appearance probability of each candidate on it is computed.  Objects
     reaching the threshold are appended to ``results``; ``stats`` receives
     the data-page and probability-computation counts.
+
+    The execution layer no longer calls this — it refines through
+    :func:`repro.exec.refine.refine_with_engine`, which adds sample
+    reuse, batching and memoisation while producing bit-identical
+    answers.  This function is kept as the independently-testable
+    reference implementation of the paper's Section 5.2 loop; behaviour
+    changes to the engine path must not diverge from it.
     """
     by_page: dict[int, list[tuple[int, DiskAddress]]] = {}
     for oid, address in candidates:

@@ -102,8 +102,14 @@ class SequentialScan:
         if self.pool is None:
             self.io.record_read(result.node_accesses)
         else:
+            # A full scan touches every summary page exactly once, so it
+            # declares itself sequential: the pool admits these frames to
+            # its probation queue instead of flooding the main LRU.
             for page_id in range(result.node_accesses):
-                charge_page_read(self.io, self.pool, self._summary_file_id, page_id)
+                charge_page_read(
+                    self.io, self.pool, self._summary_file_id, page_id,
+                    sequential=True,
+                )
         for record in self._records:
             verdict = record.rules.apply(record.mbr, query.rect, query.threshold)
             if verdict is Verdict.VALIDATED:

@@ -32,6 +32,17 @@ class QueryStats:
     # Appearance probabilities served from the batch memo instead of being
     # recomputed (only the batched executor produces nonzero values).
     memoized_probs: int = 0
+    # Sample-cache accounting from the refinement engine: a hit reuses an
+    # object's cached Monte-Carlo cloud, a miss draws (and density-weights)
+    # a fresh one.  Short-circuited pairs touch the cache not at all.
+    sample_cache_hits: int = 0
+    sample_cache_misses: int = 0
+    # Wall-clock phase split filled by the execution layer: filter walk,
+    # data-page fetches, and Monte-Carlo refinement.  ``wall_seconds``
+    # remains the end-to-end figure (>= the sum of the phases).
+    filter_seconds: float = 0.0
+    fetch_seconds: float = 0.0
+    refine_seconds: float = 0.0
 
     @property
     def total_io(self) -> int:
@@ -105,6 +116,32 @@ class WorkloadStats:
         return self._mean([q.memoized_probs for q in self.queries])
 
     @property
+    def total_sample_cache_hits(self) -> int:
+        return sum(q.sample_cache_hits for q in self.queries)
+
+    @property
+    def total_sample_cache_misses(self) -> int:
+        return sum(q.sample_cache_misses for q in self.queries)
+
+    @property
+    def sample_cache_hit_rate(self) -> float:
+        """Fraction of Monte-Carlo estimates served from cached clouds."""
+        total = self.total_sample_cache_hits + self.total_sample_cache_misses
+        return self.total_sample_cache_hits / total if total else 0.0
+
+    @property
+    def avg_filter_seconds(self) -> float:
+        return self._mean([q.filter_seconds for q in self.queries])
+
+    @property
+    def avg_fetch_seconds(self) -> float:
+        return self._mean([q.fetch_seconds for q in self.queries])
+
+    @property
+    def avg_refine_seconds(self) -> float:
+        return self._mean([q.refine_seconds for q in self.queries])
+
+    @property
     def avg_result_count(self) -> float:
         return self._mean([q.result_count for q in self.queries])
 
@@ -132,4 +169,8 @@ class WorkloadStats:
             "avg_result_count": self.avg_result_count,
             "avg_wall_seconds": self.avg_wall_seconds,
             "validated_percentage": self.validated_percentage,
+            "sample_cache_hit_rate": self.sample_cache_hit_rate,
+            "avg_filter_seconds": self.avg_filter_seconds,
+            "avg_fetch_seconds": self.avg_fetch_seconds,
+            "avg_refine_seconds": self.avg_refine_seconds,
         }

@@ -6,11 +6,16 @@ implementing the :class:`~repro.exec.access.AccessMethod` protocol) from
 
 * :func:`~repro.exec.executor.execute_query` / :class:`QueryExecutor` —
   the shared filter → refine driver every ``query()`` method delegates to;
+* :class:`~repro.exec.refine.RefinementEngine` — vectorized sample-reuse
+  appearance-probability evaluation (per-object clouds drawn once into a
+  bounded cache, whole batches answered with stacked mask reductions,
+  bit-identical to the scalar estimator);
 * :class:`~repro.exec.batch.BatchExecutor` — workload execution with
-  batch-deduplicated data-page fetches and memoised appearance
-  probabilities;
+  batch-deduplicated data-page fetches, memoised appearance
+  probabilities, and optional thread-pool overlap of its filter / fetch /
+  refine phases (``parallelism``);
 * :class:`~repro.exec.planner.Planner` — cost-model-driven access-method
-  selection per query.
+  selection per query, self-calibrating from observed workloads.
 
 Pair any of these with a :class:`repro.storage.bufferpool.BufferPool` to
 separate physical from logical I/O; with no pool (or capacity 0) all
@@ -26,7 +31,14 @@ from repro.exec.executor import (
     measure_delete_drain,
     measure_insert_build,
 )
-from repro.exec.planner import PlannedQuery, Planner, PlanReport, ScanCostModel
+from repro.exec.planner import (
+    PlannedQuery,
+    Planner,
+    PlanReport,
+    ScanCostModel,
+    derive_data_records_per_page,
+)
+from repro.exec.refine import RefinementEngine, refine_with_engine
 
 __all__ = [
     "AccessMethod",
@@ -38,9 +50,12 @@ __all__ = [
     "PlannedQuery",
     "Planner",
     "QueryExecutor",
+    "RefinementEngine",
     "ScanCostModel",
+    "derive_data_records_per_page",
     "execute_query",
     "execute_workload",
     "measure_delete_drain",
     "measure_insert_build",
+    "refine_with_engine",
 ]

@@ -11,11 +11,32 @@ queries overlap:
   one set of rectangles is swept across five thresholds.
 
 The :class:`BatchExecutor` closes both gaps.  It runs every query's filter
-phase first, takes the union of candidate data pages, fetches each page
-once for the entire batch, then refines per query with a memo keyed on
-``(object_id, query_rect)``.  The Monte-Carlo estimator derives its sample
-stream from ``(seed, object_id)``, so a memoised value is bit-identical to
-a recomputed one — memoisation changes cost, never answers.
+phase first, fetches each candidate data page once for the entire batch
+(skipping pages whose every candidate is already memoised), then refines
+per query through the :class:`~repro.exec.refine.RefinementEngine`
+(shared sample clouds, stacked mask evaluation) with a memo keyed on
+``(disk address, query_rect)`` — addresses are append-only, so a reused
+object id can never be served a stale probability.  The Monte-Carlo
+estimator derives its sample stream from ``(seed, object_id)``, so
+memoised and engine-computed values are bit-identical to freshly
+recomputed ones — batching changes cost, never answers.
+
+With ``parallelism > 1`` the three phases overlap: the main thread runs
+the filter walks, a dedicated fetch thread (the simulated disk arm) reads
+candidate pages — optionally sleeping ``io_latency_seconds`` per page —
+and a pool of refinement workers mask-and-reduce as soon as their pages
+land.  Answers are identical in every mode; ``parallelism=1`` runs the
+strictly serial path and reproduces its counters *exactly*, which is what
+the accounting tests pin.  In parallel mode the per-query physical-read /
+cache-hit attribution is not meaningful (threads interleave on the shared
+``IOCounter``), so it is left at zero and the authoritative totals live in
+:class:`BatchStats`; likewise ``prob_computations`` / ``memoized_probs`` /
+sample-cache counters may exceed their serial values when concurrent
+workers race to compute the same ``(object, rect)`` pair before either
+lands in the memo — the values themselves are deterministic, so only the
+cost accounting (never an answer) is affected.  Use ``parallelism=1``
+wherever paper-exact CPU counts matter (the figure harnesses default to
+it).
 
 Per-query :class:`~repro.core.stats.QueryStats` keep their *logical*
 meaning (a query that needed three data pages reports three data-page
@@ -27,13 +48,15 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.core.stats import QueryStats, WorkloadStats
 from repro.exec.access import AccessMethod
+from repro.exec.refine import RefinementEngine, refine_with_engine
 from repro.geometry.rect import Rect
-from repro.uncertainty.objects import UncertainObject
+from repro.storage.pager import DiskAddress
 
 __all__ = ["BatchExecutor", "BatchResult", "BatchStats"]
 
@@ -43,6 +66,7 @@ class BatchStats:
     """Batch-level cost summary (what batching saved)."""
 
     queries: int = 0
+    parallelism: int = 1
     unique_data_pages: int = 0
     data_page_fetches: int = 0
     logical_data_page_reads: int = 0
@@ -51,14 +75,21 @@ class BatchStats:
     cache_hits: int = 0
     prob_computations: int = 0
     memo_hits: int = 0
+    sample_cache_hits: int = 0
+    sample_cache_misses: int = 0
+    filter_seconds: float = 0.0
+    fetch_seconds: float = 0.0
+    refine_seconds: float = 0.0
     wall_seconds: float = 0.0
 
     @property
     def data_pages_saved(self) -> int:
-        """Page fetches avoided by batch-level deduplication.
+        """Page fetches avoided by batch dedup and the warm memo.
 
-        Zero when ``dedupe_pages=False`` — every query then fetches its
-        own pages, so ``data_page_fetches == logical_data_page_reads``.
+        With ``dedupe_pages=False`` and a cold memo every query fetches
+        its own pages, so ``data_page_fetches ==
+        logical_data_page_reads``; dedup collapses repeats to one fetch
+        and a warm memo can skip a page's fetch entirely.
         """
         return self.logical_data_page_reads - self.data_page_fetches
 
@@ -66,6 +97,11 @@ class BatchStats:
     def memo_hit_rate(self) -> float:
         total = self.prob_computations + self.memo_hits
         return self.memo_hits / total if total else 0.0
+
+    @property
+    def sample_cache_hit_rate(self) -> float:
+        total = self.sample_cache_hits + self.sample_cache_misses
+        return self.sample_cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -83,10 +119,21 @@ class BatchExecutor:
     Args:
         method: the structure to execute against.
         memoize: share appearance-probability results across queries keyed
-            on ``(object_id, query_rect)``.  The memo persists across
+            on ``(disk_address, query_rect)``.  The memo persists across
             :meth:`run` calls until :meth:`clear_memo`.
         dedupe_pages: fetch each candidate data page once per batch rather
             than once per query.
+        engine: refinement engine to use; defaults to one bound to the
+            method's estimator.  The engine (and its sample cache)
+            persists across :meth:`run` calls.
+        parallelism: refinement worker threads.  ``1`` (default) is the
+            strictly serial reference path with exact per-query
+            accounting; ``>= 2`` overlaps filter, page fetch and
+            Monte-Carlo refinement.
+        io_latency_seconds: simulated per-page disk latency applied by
+            the parallel fetch thread (the overlap the thread pool buys).
+            Ignored in serial mode, where latency is accounted
+            analytically by the harness.
     """
 
     def __init__(
@@ -95,11 +142,21 @@ class BatchExecutor:
         *,
         memoize: bool = True,
         dedupe_pages: bool = True,
+        engine: RefinementEngine | None = None,
+        parallelism: int = 1,
+        io_latency_seconds: float = 0.0,
     ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if io_latency_seconds < 0:
+            raise ValueError("io_latency_seconds must be non-negative")
         self.method = method
         self.memoize = memoize
         self.dedupe_pages = dedupe_pages
-        self._prob_memo: dict[tuple[int, Rect], float] = {}
+        self.engine = engine if engine is not None else RefinementEngine.for_method(method)
+        self.parallelism = int(parallelism)
+        self.io_latency_seconds = float(io_latency_seconds)
+        self._prob_memo: dict[tuple[DiskAddress, Rect], float] = {}
 
     def clear_memo(self) -> None:
         """Drop memoised appearance probabilities."""
@@ -111,13 +168,24 @@ class BatchExecutor:
 
     def run(self, queries: Sequence[ProbRangeQuery]) -> BatchResult:
         """Execute the whole workload, amortising page fetches and P_app."""
+        if self.parallelism == 1:
+            return self._run_serial(queries)
+        return self._run_parallel(queries)
+
+    # ------------------------------------------------------------------
+    # serial path: the exact-accounting reference
+    # ------------------------------------------------------------------
+    def _run_serial(self, queries: Sequence[ProbRangeQuery]) -> BatchResult:
         start = time.perf_counter()
         method = self.method
         io = method.io
         reads0, writes0, hits0 = io.reads, io.writes, io.cache_hits
+        cache_hits0, cache_misses0 = self.engine.cache.counters()
+        memo = self._prob_memo if self.memoize else None
 
         result = BatchResult()
         result.batch.queries = len(queries)
+        result.batch.parallelism = 1
 
         # Phase 1: every query's filter pass (per-query node accounting;
         # the filter's physical/cache split is attributed per query).
@@ -135,43 +203,48 @@ class BatchExecutor:
             answer.object_ids.extend(filtered.validated)
             stats.physical_reads = io.reads - q_reads
             stats.cache_hits = io.cache_hits - q_hits
-            stats.wall_seconds = time.perf_counter() - q_start
+            stats.filter_seconds = time.perf_counter() - q_start
+            stats.wall_seconds = stats.filter_seconds
             needed_pages.update(addr.page_id for _, addr in filtered.candidates)
             per_query.append((query, stats, answer, filtered.candidates))
 
-        # Phase 2: fetch the union of candidate pages once for the batch.
-        # These shared fetches belong to no single query, so their I/O is
-        # reported in BatchStats only.
+        # Phase 2: fetch the union of candidate pages once for the batch —
+        # except pages whose every (candidate, query) pair is already
+        # memoised, which need no payload at all.  These shared fetches
+        # belong to no single query, so their I/O is in BatchStats only.
+        fetch_start = time.perf_counter()
         page_payloads: dict[int, list] = {}
         if self.dedupe_pages:
-            for page_id in sorted(needed_pages):
+            fetch_pages: set[int] = set()
+            for query, _, _, candidates in per_query:
+                rect = query.rect
+                fetch_pages.update(
+                    addr.page_id
+                    for _, addr in candidates
+                    if memo is None or (addr, rect) not in memo
+                )
+            for page_id in sorted(fetch_pages):
                 page_payloads[page_id] = method.data_file.read_page(page_id)
-            result.batch.data_page_fetches = len(needed_pages)
+            result.batch.data_page_fetches = len(fetch_pages)
         result.batch.unique_data_pages = len(needed_pages)
+        result.batch.fetch_seconds = time.perf_counter() - fetch_start
 
         # Phase 3: refine per query from the shared pages + probability memo.
         for query, stats, answer, candidates in per_query:
             q_start = time.perf_counter()
             q_reads, q_hits = io.reads, io.cache_hits
-            by_page: dict[int, list] = {}
-            for oid, address in candidates:
-                by_page.setdefault(address.page_id, []).append((oid, address))
-            for page_id, group in sorted(by_page.items()):
-                if self.dedupe_pages:
-                    payloads = page_payloads[page_id]
-                else:
-                    payloads = method.data_file.read_page(page_id)
-                    result.batch.data_page_fetches += 1
-                stats.data_page_reads += 1
-                for oid, address in group:
-                    obj = payloads[address.slot]
-                    if not isinstance(obj, UncertainObject):  # pragma: no cover
-                        raise TypeError(
-                            f"data page {page_id} slot {address.slot} is not an object"
-                        )
-                    p_app = self._appearance(obj, query.rect, stats)
-                    if p_app >= query.threshold:
-                        answer.object_ids.append(oid)
+            fetched = refine_with_engine(
+                self.engine,
+                candidates,
+                query,
+                method.data_file,
+                stats,
+                answer.object_ids,
+                pages=page_payloads if self.dedupe_pages else None,
+                memo=memo,
+            )
+            if not self.dedupe_pages:
+                result.batch.data_page_fetches += fetched
             stats.physical_reads += io.reads - q_reads
             stats.cache_hits += io.cache_hits - q_hits
             stats.result_count = len(answer.object_ids)
@@ -179,6 +252,144 @@ class BatchExecutor:
             result.answers.append(answer)
             result.workload.add(stats)
 
+        if not self.dedupe_pages:
+            result.batch.fetch_seconds += sum(
+                s.fetch_seconds for _, s, _, _ in per_query
+            )
+        self._finalise(
+            result, per_query, io, reads0, writes0, hits0,
+            (cache_hits0, cache_misses0), start,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # parallel path: filter / fetch / refine overlap
+    # ------------------------------------------------------------------
+    def _run_parallel(self, queries: Sequence[ProbRangeQuery]) -> BatchResult:
+        start = time.perf_counter()
+        method = self.method
+        io = method.io
+        reads0, writes0, hits0 = io.reads, io.writes, io.cache_hits
+        cache_hits0, cache_misses0 = self.engine.cache.counters()
+        memo = self._prob_memo if self.memoize else None
+        latency = self.io_latency_seconds
+
+        result = BatchResult()
+        result.batch.queries = len(queries)
+        result.batch.parallelism = self.parallelism
+
+        fetch_clock: list[float] = []
+
+        def fetch(page_id: int) -> list:
+            t0 = time.perf_counter()
+            payloads = method.data_file.read_page(page_id)
+            if latency > 0.0:
+                time.sleep(latency)
+            fetch_clock.append(time.perf_counter() - t0)
+            return payloads
+
+        per_query: list[tuple[ProbRangeQuery, QueryStats, QueryAnswer, list]] = []
+        needed_pages: set[int] = set()
+        page_futures: dict[int, Future] = {}
+        refine_futures: list[Future] = []
+        fetch_count = 0
+
+        # One fetch worker models the single simulated disk arm; the
+        # refinement pool does the Monte-Carlo work.  Refine tasks block
+        # on fetch futures from a *different* executor, so the pools
+        # cannot deadlock on each other.
+        with ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="batch-fetch"
+        ) as io_pool, ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="batch-refine"
+        ) as cpu_pool:
+
+            def loader(page_id: int) -> list:
+                if self.dedupe_pages:
+                    return page_futures[page_id].result()
+                # Undeduped mode still routes every read through the
+                # single fetch thread so the shared IOCounter and buffer
+                # pool see one writer.
+                return io_pool.submit(fetch, page_id).result()
+
+            def refine(
+                query: ProbRangeQuery,
+                stats: QueryStats,
+                answer: QueryAnswer,
+                candidates: list,
+            ) -> None:
+                t0 = time.perf_counter()
+                refine_with_engine(
+                    self.engine,
+                    candidates,
+                    query,
+                    method.data_file,
+                    stats,
+                    answer.object_ids,
+                    page_loader=loader,
+                    memo=memo,
+                    attribute_cache=False,  # batch-level deltas only
+                )
+                stats.result_count = len(answer.object_ids)
+                stats.wall_seconds += time.perf_counter() - t0
+
+            # Phase 1 on the main thread; fetch and refine tasks start
+            # flowing while later queries are still being filtered.
+            for query in queries:
+                q_start = time.perf_counter()
+                stats = QueryStats()
+                answer = QueryAnswer(stats=stats)
+                filtered = method.filter_candidates(query)
+                stats.node_accesses = filtered.node_accesses
+                stats.validated_directly = len(filtered.validated)
+                stats.pruned = filtered.pruned
+                answer.object_ids.extend(filtered.validated)
+                stats.filter_seconds = time.perf_counter() - q_start
+                stats.wall_seconds = stats.filter_seconds
+                candidates = filtered.candidates
+                rect = query.rect
+                for _, addr in candidates:
+                    needed_pages.add(addr.page_id)
+                    if (
+                        self.dedupe_pages
+                        and addr.page_id not in page_futures
+                        and (memo is None or (addr, rect) not in memo)
+                    ):
+                        page_futures[addr.page_id] = io_pool.submit(
+                            fetch, addr.page_id
+                        )
+                per_query.append((query, stats, answer, candidates))
+                refine_futures.append(
+                    cpu_pool.submit(refine, query, stats, answer, candidates)
+                )
+            for future in refine_futures:
+                future.result()
+            fetch_count = len(fetch_clock)
+
+        for _, stats, answer, _ in per_query:
+            result.answers.append(answer)
+            result.workload.add(stats)
+
+        result.batch.unique_data_pages = len(needed_pages)
+        result.batch.data_page_fetches = fetch_count
+        result.batch.fetch_seconds = sum(fetch_clock)
+        self._finalise(
+            result, per_query, io, reads0, writes0, hits0,
+            (cache_hits0, cache_misses0), start,
+        )
+        return result
+
+    def _finalise(
+        self,
+        result: BatchResult,
+        per_query: list,
+        io,
+        reads0: int,
+        writes0: int,
+        hits0: int,
+        cache_baseline: tuple[int, int],
+        start: float,
+    ) -> None:
         result.batch.logical_data_page_reads = sum(
             s.data_page_reads for _, s, _, _ in per_query
         )
@@ -186,22 +397,16 @@ class BatchExecutor:
             s.prob_computations for _, s, _, _ in per_query
         )
         result.batch.memo_hits = sum(s.memoized_probs for _, s, _, _ in per_query)
+        result.batch.filter_seconds = sum(
+            s.filter_seconds for _, s, _, _ in per_query
+        )
+        result.batch.refine_seconds = sum(
+            s.refine_seconds for _, s, _, _ in per_query
+        )
         result.batch.physical_reads = io.reads - reads0
         result.batch.physical_writes = io.writes - writes0
         result.batch.cache_hits = io.cache_hits - hits0
+        cache_hits1, cache_misses1 = self.engine.cache.counters()
+        result.batch.sample_cache_hits = cache_hits1 - cache_baseline[0]
+        result.batch.sample_cache_misses = cache_misses1 - cache_baseline[1]
         result.batch.wall_seconds = time.perf_counter() - start
-        return result
-
-    def _appearance(self, obj: UncertainObject, rect: Rect, stats: QueryStats) -> float:
-        if not self.memoize:
-            stats.prob_computations += 1
-            return obj.appearance_probability(rect, self.method.estimator)
-        key = (obj.oid, rect)
-        cached = self._prob_memo.get(key)
-        if cached is not None:
-            stats.memoized_probs += 1
-            return cached
-        value = obj.appearance_probability(rect, self.method.estimator)
-        stats.prob_computations += 1
-        self._prob_memo[key] = value
-        return value

@@ -30,8 +30,15 @@ from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.core.stats import WorkloadStats
 from repro.exec.access import AccessMethod
 from repro.exec.executor import execute_query
+from repro.storage import layout
 
-__all__ = ["Planner", "PlannedQuery", "PlanReport", "ScanCostModel"]
+__all__ = [
+    "Planner",
+    "PlannedQuery",
+    "PlanReport",
+    "ScanCostModel",
+    "derive_data_records_per_page",
+]
 
 
 class ScanCostModel:
@@ -75,6 +82,22 @@ class ScanCostModel:
         return self.scan_pages + self.expected_candidates(query) / data_records_per_page
 
 
+def derive_data_records_per_page(method) -> float:
+    """The packing density a cost model should assume for ``method``.
+
+    Prefers the structure's *actual* data-file occupancy (records per
+    first-fit page); an empty file falls back to the byte-layout bound
+    from :func:`repro.storage.layout.data_records_per_page`.
+    """
+    data_file = getattr(method, "data_file", None)
+    if data_file is not None and data_file.page_count > 0:
+        observed = data_file.records_per_page
+        if observed > 0:
+            return float(observed)
+    page_size = data_file.page_size if data_file is not None else 4096
+    return float(layout.data_records_per_page(method.dim, page_size))
+
+
 @dataclass(frozen=True)
 class PlannedQuery:
     """One planning decision: the chosen method and every method's price."""
@@ -106,11 +129,28 @@ class Planner:
     Methods are registered with a cost function mapping a query to a
     predicted total I/O (any consistent unit works — the planner only
     compares).  :meth:`for_structures` wires the standard trio.
+
+    The planner carries one calibrated constant, ``data_records_per_page``
+    (how many refinement candidates share a data page), which every
+    :meth:`for_structures` cost model reads live — so
+    :meth:`observe`-driven refinement immediately shifts future plans.
+    ``auto_observe=False`` pins the constant (no drift from :meth:`run`);
+    explicit :meth:`observe` calls always apply.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        data_records_per_page: float = 1.0,
+        *,
+        auto_observe: bool = True,
+    ) -> None:
+        if data_records_per_page <= 0:
+            raise ValueError("data_records_per_page must be positive")
         self._methods: dict[str, AccessMethod] = {}
         self._cost_fns: dict[str, object] = {}
+        self.data_records_per_page = float(data_records_per_page)
+        self.auto_observe = bool(auto_observe)
+        self.observations = 0
 
     def register(self, name: str, method: AccessMethod, cost_fn) -> None:
         """Add a method under ``name`` with cost model ``cost_fn(query)``."""
@@ -133,43 +173,83 @@ class Planner:
         upcr=None,
         scan=None,
         *,
-        data_records_per_page: float = 1.0,
+        data_records_per_page: float | None = None,
+        auto_observe: bool = True,
     ) -> "Planner":
         """A planner over any subset of the paper's three structures.
 
         ``data_records_per_page`` converts expected refinement candidates
         into data-page reads in every model (the data files pack many
-        small detail records per 4 KB page).
+        small detail records per 4 KB page).  By default it is *derived*:
+        from the first structure's actual data-file occupancy when it
+        holds pages, else from the detail-record byte layout
+        (:func:`repro.storage.layout.data_records_per_page`).  Either way
+        :meth:`observe` keeps refining it from executed workloads unless
+        ``auto_observe=False`` pins it (a controlled experiment that
+        passes an explicit constant usually wants that).
         """
         # Imported here: costmodel imports the U-tree module, which itself
         # uses the exec layer — a module-level import would be circular.
         from repro.core.costmodel import UTreeCostModel
 
-        planner = cls()
+        methods = [m for m in (utree, upcr, scan) if m is not None]
+        if not methods:
+            raise ValueError("at least one structure is required")
+        if data_records_per_page is None:
+            data_records_per_page = derive_data_records_per_page(methods[0])
+        planner = cls(data_records_per_page, auto_observe=auto_observe)
         if utree is not None:
             model = UTreeCostModel(utree)
             planner.register(
                 "utree",
                 utree,
-                lambda q, _m=model: _m.estimate(q).total_io(data_records_per_page),
+                lambda q, _m=model, _p=planner: _m.estimate(q).total_io(
+                    _p.data_records_per_page
+                ),
             )
         if upcr is not None:
             model = UTreeCostModel(upcr)
             planner.register(
                 "upcr",
                 upcr,
-                lambda q, _m=model: _m.estimate(q).total_io(data_records_per_page),
+                lambda q, _m=model, _p=planner: _m.estimate(q).total_io(
+                    _p.data_records_per_page
+                ),
             )
         if scan is not None:
             model = ScanCostModel(scan)
             planner.register(
                 "scan",
                 scan,
-                lambda q, _m=model: _m.total_io(q, data_records_per_page),
+                lambda q, _m=model, _p=planner: _m.total_io(
+                    q, _p.data_records_per_page
+                ),
             )
-        if not planner._methods:
-            raise ValueError("at least one structure is required")
         return planner
+
+    def observe(self, stats: WorkloadStats, *, smoothing: float = 0.5) -> float:
+        """Refine the calibrated constants from an executed workload.
+
+        The observed packing density is candidates per touched data page
+        (``prob_computations + memoized_probs`` over ``data_page_reads``);
+        it is blended into ``data_records_per_page`` with an exponential
+        moving average so one unusual workload cannot whipsaw the plans.
+        Returns the updated constant.
+        """
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        pages = sum(q.data_page_reads for q in stats.queries)
+        candidates = sum(
+            q.prob_computations + q.memoized_probs for q in stats.queries
+        )
+        if pages > 0 and candidates > 0:
+            observed = candidates / pages
+            self.data_records_per_page = (
+                (1.0 - smoothing) * self.data_records_per_page
+                + smoothing * observed
+            )
+            self.observations += 1
+        return self.data_records_per_page
 
     # ------------------------------------------------------------------
     def plan(self, query: ProbRangeQuery) -> PlannedQuery:
@@ -189,7 +269,12 @@ class Planner:
         return answer, decision
 
     def run(self, queries: Sequence[ProbRangeQuery]) -> PlanReport:
-        """Plan and execute a whole workload."""
+        """Plan and execute a whole workload.
+
+        Unless ``auto_observe`` is off, the observed refinement behaviour
+        feeds :meth:`observe` afterwards, so the next workload plans with
+        calibrated constants (decisions within this run are unaffected).
+        """
         start = time.perf_counter()
         report = PlanReport()
         for query in queries:
@@ -198,4 +283,6 @@ class Planner:
             report.decisions.append(decision)
             report.workload.add(answer.stats)
         report.wall_seconds = time.perf_counter() - start
+        if self.auto_observe:
+            self.observe(report.workload)
         return report

@@ -15,29 +15,47 @@ from repro.core.query import ProbRangeQuery
 from repro.core.stats import WorkloadStats
 from repro.exec.batch import BatchExecutor
 from repro.exec.executor import execute_workload
+from repro.exec.refine import RefinementEngine
 from repro.experiments.config import Scale
 
 __all__ = ["run_workload", "run_workload_batched", "total_cost_seconds", "format_table"]
 
 
-def run_workload(tree, queries: Sequence[ProbRangeQuery]) -> WorkloadStats:
+def run_workload(
+    tree,
+    queries: Sequence[ProbRangeQuery],
+    *,
+    engine: RefinementEngine | None = None,
+) -> WorkloadStats:
     """Run every query against ``tree`` through the shared executor.
 
     ``tree`` is any :class:`repro.exec.access.AccessMethod`; structures
     without a filter phase (legacy/test doubles exposing only ``query``)
-    fall back to their own driver.
+    fall back to their own driver.  The executor refines through a
+    :class:`RefinementEngine` held for the whole workload (pass your own
+    to share sample clouds across workloads); all reported statistics
+    keep the paper's per-pair meaning.
     """
     if hasattr(tree, "filter_candidates"):
-        return execute_workload(tree, queries)
+        return execute_workload(tree, queries, engine=engine)
     stats = WorkloadStats()
     for query in queries:
         stats.add(tree.query(query).stats)
     return stats
 
 
-def run_workload_batched(tree, queries: Sequence[ProbRangeQuery]) -> WorkloadStats:
-    """Run the workload through the batched executor (cross-query reuse)."""
-    return BatchExecutor(tree).run(queries).workload
+def run_workload_batched(
+    tree,
+    queries: Sequence[ProbRangeQuery],
+    *,
+    parallelism: int = 1,
+) -> WorkloadStats:
+    """Run the workload through the batched executor (cross-query reuse).
+
+    ``parallelism >= 2`` overlaps the filter / page-fetch / refine phases
+    on a thread pool; ``1`` is the exact-accounting serial path.
+    """
+    return BatchExecutor(tree, parallelism=parallelism).run(queries).workload
 
 
 def total_cost_seconds(stats: WorkloadStats, scale: Scale) -> float:

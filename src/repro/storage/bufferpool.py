@@ -17,27 +17,51 @@ Accounting contract (relied on by the experiment harness and tests):
   read is physical and all counters reproduce the uncached (paper) numbers
   exactly.
 
+**Scan resistance.**  A flat sequential scan touches every summary page
+exactly once per query; admitting those frames into the main LRU evicts
+the genuinely hot working set without ever producing a hit ("the scan
+floods the cache").  Readers that know they are scanning pass
+``sequential=True``: those misses are admitted into a small 2Q-style
+*probation* FIFO instead of the main LRU.  A probationary frame promotes
+to the main LRU on its next access (from any reader), so pages that
+repeated scans actually revisit still earn residency — but a one-pass
+scan can displace at most the probation queue, never the main frames.
+The probation queue holds ``max(1, capacity // 8)`` frames *in addition*
+to ``capacity`` main frames (zero when ``capacity == 0``, preserving the
+uncached contract).
+
 Pages in this simulator are live Python objects, so the pool caches only
 *identities*; hits skip the I/O charge, nothing else.  Writes are
 write-through: they always cost a physical write, and the written frame is
-retained (a just-written page is in memory).
+retained (a just-written page is in memory).  All operations take an
+internal lock, so one pool may be shared by the parallel batch executor's
+fetch and filter threads.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 __all__ = ["BufferPool", "charge_page_read"]
 
 
-def charge_page_read(io, pool: "BufferPool | None", file_id: int, page_id: int) -> bool:
+def charge_page_read(
+    io,
+    pool: "BufferPool | None",
+    file_id: int,
+    page_id: int,
+    *,
+    sequential: bool = False,
+) -> bool:
     """Charge one logical page read to ``io``, routing through ``pool``.
 
     The single place that encodes the accounting contract: a pool hit
-    costs a cache hit, anything else a physical read.  Returns True on a
-    pool hit.
+    costs a cache hit, anything else a physical read.  ``sequential``
+    marks scan-shaped accesses for the pool's non-polluting admission
+    path.  Returns True on a pool hit.
     """
-    if pool is not None and pool.access(file_id, page_id):
+    if pool is not None and pool.access(file_id, page_id, sequential=sequential):
         io.record_cache_hit()
         return True
     io.record_read()
@@ -45,54 +69,82 @@ def charge_page_read(io, pool: "BufferPool | None", file_id: int, page_id: int) 
 
 
 class BufferPool:
-    """A shared LRU cache of ``(file_id, page_id)`` frames.
+    """A shared scan-resistant LRU cache of ``(file_id, page_id)`` frames.
 
     One pool may back several page files (an index's node store plus its
     data file, or several trees in a batch harness); each backing file
     registers itself to obtain a distinct ``file_id`` namespace.
 
     Args:
-        capacity: maximum number of frames held.  ``0`` disables caching
-            (every access is a miss and nothing is retained), reproducing
-            uncached I/O accounting exactly.
+        capacity: maximum number of main frames held.  ``0`` disables
+            caching (every access is a miss and nothing is retained),
+            reproducing uncached I/O accounting exactly.
+        probation_capacity: size of the sequential-admission FIFO.
+            Defaults to ``max(1, capacity // 8)`` (``0`` when the pool is
+            disabled).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, *, probation_capacity: int | None = None):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = int(capacity)
+        if probation_capacity is None:
+            probation_capacity = max(1, self.capacity // 8) if self.capacity else 0
+        if probation_capacity < 0:
+            raise ValueError("probation_capacity must be non-negative")
+        self.probation_capacity = int(probation_capacity) if self.capacity else 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self._frames: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._probation: OrderedDict[tuple[int, int], None] = OrderedDict()
         self._next_file_id = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def register_file(self) -> int:
         """Reserve a fresh file-id namespace for one backing page file."""
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        return file_id
+        with self._lock:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            return file_id
 
     # ------------------------------------------------------------------
     # the cache protocol
     # ------------------------------------------------------------------
-    def access(self, file_id: int, page_id: int) -> bool:
+    def access(self, file_id: int, page_id: int, *, sequential: bool = False) -> bool:
         """Request one page; returns True on a hit, False on a miss.
 
-        A miss loads the frame (evicting the least-recently-used frame if
-        the pool is full); a hit refreshes its recency.
+        A miss loads the frame into the main LRU (evicting its
+        least-recently-used frame if full).  A ``sequential`` miss is
+        allowed a main slot only while main has *spare* capacity — a
+        scan may use idle memory (so repeated scans over an
+        under-committed pool still hit, as under plain LRU) but never
+        evicts a resident frame; once main is full, sequential misses go
+        to the probation FIFO.  A hit refreshes recency; a probationary
+        hit additionally promotes the frame into the main LRU.
         """
         key = (file_id, page_id)
-        if key in self._frames:
-            self._frames.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        self._load(key)
-        return False
+        with self._lock:
+            if key in self._frames:
+                self._frames.move_to_end(key)
+                self.hits += 1
+                return True
+            if key in self._probation:
+                # Re-referenced within its probation window: the frame has
+                # proven reuse, so it earns a main-LRU slot.
+                del self._probation[key]
+                self.hits += 1
+                self._load(key)
+                return True
+            self.misses += 1
+            if sequential and len(self._frames) >= self.capacity:
+                self._load_probation(key)
+            else:
+                self._load(key)
+            return False
 
     def admit(self, file_id: int, page_id: int) -> None:
         """Retain a frame without charging a hit or miss.
@@ -101,18 +153,24 @@ class BufferPool:
         the next read of it should hit.
         """
         key = (file_id, page_id)
-        if key in self._frames:
-            self._frames.move_to_end(key)
-        else:
-            self._load(key)
+        with self._lock:
+            if key in self._frames:
+                self._frames.move_to_end(key)
+            else:
+                self._probation.pop(key, None)
+                self._load(key)
 
     def invalidate(self, file_id: int, page_id: int) -> None:
         """Drop a frame (page freed/deallocated); no-op when absent."""
-        self._frames.pop((file_id, page_id), None)
+        with self._lock:
+            self._frames.pop((file_id, page_id), None)
+            self._probation.pop((file_id, page_id), None)
 
     def clear(self) -> None:
         """Drop every frame (counters are kept)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
+            self._probation.clear()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters (frames are kept)."""
@@ -128,14 +186,22 @@ class BufferPool:
             self._frames.popitem(last=False)
             self.evictions += 1
 
+    def _load_probation(self, key: tuple[int, int]) -> None:
+        if self.probation_capacity == 0:
+            return
+        self._probation[key] = None
+        if len(self._probation) > self.probation_capacity:
+            self._probation.popitem(last=False)
+            self.evictions += 1
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._frames)
+        return len(self._frames) + len(self._probation)
 
     def __contains__(self, key: tuple[int, int]) -> bool:
-        return key in self._frames
+        return key in self._frames or key in self._probation
 
     @property
     def accesses(self) -> int:
@@ -149,11 +215,16 @@ class BufferPool:
         return self.hits / total if total else 0.0
 
     def resident_pages(self) -> list[tuple[int, int]]:
-        """Frames currently held, least- to most-recently used."""
+        """Main-LRU frames currently held, least- to most-recently used."""
         return list(self._frames)
+
+    def probation_pages(self) -> list[tuple[int, int]]:
+        """Probationary frames, oldest first."""
+        return list(self._probation)
 
     def __repr__(self) -> str:
         return (
             f"BufferPool(capacity={self.capacity}, resident={len(self._frames)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"probation={len(self._probation)}, hits={self.hits}, "
+            f"misses={self.misses})"
         )

@@ -26,9 +26,11 @@ __all__ = [
     "FLOAT_SIZE",
     "POINTER_SIZE",
     "NodeLayout",
-    "utree_layout",
-    "upcr_layout",
+    "data_records_per_page",
+    "detail_record_bytes",
     "rstar_layout",
+    "upcr_layout",
+    "utree_layout",
 ]
 
 FLOAT_SIZE = 8
@@ -94,6 +96,30 @@ def rstar_layout(dim: int, page_size: int = 4096) -> NodeLayout:
     _check_dim(dim)
     entry = 2 * dim * FLOAT_SIZE + POINTER_SIZE
     return NodeLayout(entry, entry, page_size)
+
+
+def detail_record_bytes(dim: int) -> int:
+    """On-disk size of one object detail record.
+
+    Region centre/extents (``2d`` floats), pdf descriptor (4 floats) and
+    the object id — the same accounting as
+    ``UncertainObject.detail_size_bytes`` (kept in sync by a unit test;
+    the uncertainty layer sits below storage and cannot import this).
+    """
+    _check_dim(dim)
+    return 2 * dim * FLOAT_SIZE + 4 * FLOAT_SIZE + POINTER_SIZE
+
+
+def data_records_per_page(dim: int, page_size: int = 4096) -> int:
+    """How many detail records a first-fit data page holds (>= 1).
+
+    The planner's refinement-cost models divide expected candidates by
+    this to predict data-page reads; deriving it from the record layout
+    replaces the old hand-tuned constant.
+    """
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    return max(1, page_size // detail_record_bytes(dim))
 
 
 def _check_dim(dim: int) -> None:

@@ -13,6 +13,7 @@ faithful, while payloads stay live Python objects for speed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -36,12 +37,17 @@ class IOCounter:
     serves a read from memory the page file records a ``cache hit``
     instead, so ``logical_reads = reads + cache_hits`` while ``reads``
     keeps its uncached meaning.
+
+    Counter updates take an internal lock so the parallel batch executor's
+    filter and fetch threads can share one counter without losing
+    increments; snapshot reads stay lock-free (they are monotonic ints).
     """
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
         self.cache_hits = 0
+        self._lock = threading.Lock()
 
     @property
     def total(self) -> int:
@@ -54,13 +60,16 @@ class IOCounter:
         return self.reads + self.cache_hits
 
     def record_read(self, pages: int = 1) -> None:
-        self.reads += pages
+        with self._lock:
+            self.reads += pages
 
     def record_write(self, pages: int = 1) -> None:
-        self.writes += pages
+        with self._lock:
+            self.writes += pages
 
     def record_cache_hit(self, pages: int = 1) -> None:
-        self.cache_hits += pages
+        with self._lock:
+            self.cache_hits += pages
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -158,6 +167,21 @@ class DataFile:
     @property
     def page_count(self) -> int:
         return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        """Total detail records stored across all pages."""
+        return sum(len(page.payloads) for page in self._pages)
+
+    @property
+    def records_per_page(self) -> float:
+        """Observed packing density (records / page), 0.0 when empty.
+
+        The planner calibrates its ``data_records_per_page`` constant from
+        this instead of guessing — the actual first-fit occupancy, not a
+        layout upper bound.
+        """
+        return self.record_count / self.page_count if self._pages else 0.0
 
     @property
     def size_bytes(self) -> int:

@@ -11,18 +11,236 @@ module implements that estimator, the "whole region inside the query"
 shortcut the paper notes (n2 = n1 ⇒ exactly 1), and the instrumentation
 needed for the CPU-cost experiments (each estimate is one "appearance
 probability computation" in Figs. 9-10) and the accuracy study (Fig. 7).
+
+The per-object sample stream is fully determined by ``(seed, object_id)``
+— every estimate against the same object re-draws the *same* cloud of
+points and re-evaluates the same densities.  :class:`SampleCache` exploits
+that: it stores one :class:`ObjectSamples` (points, per-point densities,
+normalising total) per object, so the stream is drawn once and every
+subsequent estimate reduces to a mask-and-dot over cached arrays.  Results
+are bit-identical to the uncached path because the cache replays exactly
+the draw the estimator would have made.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.geometry.rect import Rect
 from repro.uncertainty.pdfs import Density
 
-__all__ = ["AppearanceEstimator", "estimate_appearance_probability"]
+__all__ = [
+    "AppearanceEstimator",
+    "ObjectSamples",
+    "SampleCache",
+    "estimate_appearance_probability",
+]
+
+
+@dataclass(frozen=True)
+class ObjectSamples:
+    """One object's cached Monte-Carlo state: draw once, reuse forever.
+
+    Attributes:
+        points: ``(n1, d)`` uniform draws from the uncertainty region.
+        weights: pdf values at each point.
+        total: ``float(weights.sum())`` — the estimator's normaliser,
+            stored so cached and uncached estimates divide by the exact
+            same float.
+        columns: per-axis views of ``points``, staged once at draw time
+            for the engine's stacked mask comparisons (zero-copy — they
+            share the points buffer).
+        density_ref: weak reference to the density the cloud was drawn
+            from.  Object ids can be reused (delete + re-insert), so a
+            cache hit is only valid if the requesting density is the
+            *same instance*; the weakref avoids keeping deleted objects'
+            pdfs alive.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    total: float
+    columns: tuple[np.ndarray, ...] = ()
+    density_ref: "weakref.ref | None" = None
+
+    @property
+    def nbytes(self) -> int:
+        # columns are views into the points buffer — not counted twice.
+        return self.points.nbytes + self.weights.nbytes
+
+
+class SampleCache:
+    """A bounded, thread-safe LRU cache of per-object sample clouds.
+
+    The estimator's stream for object ``o`` is ``default_rng((seed, o))``
+    — deterministic, so one draw serves every query that object ever
+    meets.  The cache is keyed by object id and bound to one
+    ``(n_samples, seed)`` configuration; sharing it between estimators
+    with different configurations would silently change results, so the
+    pairing is validated at attach time.
+
+    Concurrent ``get`` calls for the same uncached object coordinate
+    through an in-flight event so the draw happens once; other objects
+    sample in parallel (NumPy releases the GIL for the heavy parts).
+
+    Args:
+        n_samples: points per object (the estimator's ``n1``).
+        seed: base RNG seed shared with the estimator.
+        capacity: maximum number of objects retained (LRU).  ``0``
+            disables retention — every ``get`` re-draws, which is only
+            useful for testing the accounting.
+        max_bytes: byte budget for retained clouds (LRU-evicted past it;
+            at least one entry is always kept).  Entry counts alone are a
+            poor bound — at the paper's ``n1 = 10^6`` one 2-D cloud is
+            ~24 MB, so 4096 entries would be ~100 GB.  ``None`` disables
+            the byte bound.
+    """
+
+    DEFAULT_MAX_BYTES = 512 * 2**20
+
+    def __init__(
+        self,
+        n_samples: int = 10_000,
+        seed: int = 0,
+        capacity: int = 4096,
+        *,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+    ):
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.capacity = int(capacity)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.resident_bytes = 0
+        self._entries: OrderedDict[int, ObjectSamples] = OrderedDict()
+        self._in_flight: dict[int, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+    @property
+    def draws(self) -> int:
+        """Sample clouds actually drawn (== density evaluations)."""
+        return self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> tuple[int, int]:
+        """Current ``(hits, misses)`` pair, for delta accounting."""
+        return (self.hits, self.misses)
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self.resident_bytes = 0
+
+    def invalidate(self, object_id: int) -> None:
+        """Drop one object's cloud (e.g. the object was deleted)."""
+        with self._lock:
+            entry = self._entries.pop(int(object_id), None)
+            if entry is not None:
+                self.resident_bytes -= entry.nbytes
+
+    def get(self, density: Density, object_id: int) -> ObjectSamples:
+        """The object's sample cloud, drawing it on first request.
+
+        A hit is served only when the cloud was drawn from this exact
+        ``density`` instance — a reused object id (delete + re-insert)
+        therefore re-draws instead of replaying a stale object's cloud.
+        """
+        oid = int(object_id)
+        while True:
+            with self._lock:
+                entry = self._entries.get(oid)
+                if entry is not None:
+                    if (
+                        entry.density_ref is not None
+                        and entry.density_ref() is density
+                    ):
+                        self._entries.move_to_end(oid)
+                        self.hits += 1
+                        return entry
+                    # Stale: same id, different object. Evict and re-draw.
+                    del self._entries[oid]
+                    self.resident_bytes -= entry.nbytes
+                    entry = None
+                event = self._in_flight.get(oid)
+                if event is None:
+                    event = threading.Event()
+                    self._in_flight[oid] = event
+                    self.misses += 1
+                    break
+            # Another thread is drawing this object; wait and re-check.
+            event.wait()
+        try:
+            entry = self._draw(density, oid)
+            with self._lock:
+                if self.capacity > 0:
+                    self._entries[oid] = entry
+                    self.resident_bytes += entry.nbytes
+                    while len(self._entries) > self.capacity or (
+                        self.max_bytes is not None
+                        and self.resident_bytes > self.max_bytes
+                        and len(self._entries) > 1
+                    ):
+                        _, evicted = self._entries.popitem(last=False)
+                        self.resident_bytes -= evicted.nbytes
+                        self.evictions += 1
+        finally:
+            with self._lock:
+                self._in_flight.pop(oid, None)
+            event.set()
+        return entry
+
+    def _draw(self, density: Density, object_id: int) -> ObjectSamples:
+        # Exactly the draw AppearanceEstimator made before the cache
+        # existed — same RNG derivation, same order of operations — so
+        # cached estimates are bit-identical to uncached ones.
+        rng = np.random.default_rng((self.seed, object_id))
+        points = density.region.sample(self.n_samples, rng)
+        weights = density.density(points)
+        columns = tuple(points[:, axis] for axis in range(points.shape[1]))
+        return ObjectSamples(
+            points=points,
+            weights=weights,
+            total=float(weights.sum()),
+            columns=columns,
+            density_ref=weakref.ref(density),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleCache(n_samples={self.n_samples}, seed={self.seed}, "
+            f"capacity={self.capacity}, resident={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
 
 
 class AppearanceEstimator:
@@ -35,13 +253,31 @@ class AppearanceEstimator:
         seed: base RNG seed.  Each estimate derives its stream from
             ``seed`` and the object id so results are reproducible and,
             importantly for testing, *consistent across repeated calls*.
+        cache: optional :class:`SampleCache` sharing this estimator's
+            ``(n_samples, seed)``.  With a cache attached, repeated
+            estimates against the same object skip the RNG rebuild and
+            re-draw entirely; values are bit-identical either way.
     """
 
-    def __init__(self, n_samples: int = 10_000, seed: int = 0):
+    def __init__(
+        self,
+        n_samples: int = 10_000,
+        seed: int = 0,
+        cache: SampleCache | None = None,
+    ):
         if n_samples < 1:
             raise ValueError("n_samples must be at least 1")
         self.n_samples = int(n_samples)
         self.seed = int(seed)
+        if cache is not None and (
+            cache.n_samples != self.n_samples or cache.seed != self.seed
+        ):
+            raise ValueError(
+                "sample cache must share the estimator's n_samples and seed "
+                f"(cache: {cache.n_samples}/{cache.seed}, "
+                f"estimator: {self.n_samples}/{self.seed})"
+            )
+        self.cache = cache
         self.evaluations = 0
         self.elapsed_seconds = 0.0
 
@@ -51,29 +287,41 @@ class AppearanceEstimator:
         self.elapsed_seconds = 0.0
 
     def estimate(self, density: Density, query: Rect, object_id: int = 0) -> float:
-        """Estimate ``P_app`` for one object against one query rectangle."""
+        """Estimate ``P_app`` for one object against one query rectangle.
+
+        The contains/intersects short-circuits resolve *before* the timer
+        starts: ``elapsed_seconds`` charges only real Monte-Carlo work, so
+        the Fig. 9 CPU panels are not inflated by trivial rectangle tests.
+        """
+        mbr = density.region.mbr()
+        if query.contains(mbr):
+            # The paper's special case: all samples fall inside, P_app = 1.
+            self.evaluations += 1
+            return 1.0
+        if not query.intersects(mbr):
+            self.evaluations += 1
+            return 0.0
         start = time.perf_counter()
         self.evaluations += 1
-        value = self._estimate(density, query, object_id)
+        value = self._integrate(density, query, object_id)
         self.elapsed_seconds += time.perf_counter() - start
         return value
 
-    def _estimate(self, density: Density, query: Rect, object_id: int) -> float:
-        region = density.region
-        mbr = region.mbr()
-        if query.contains(mbr):
-            # The paper's special case: all samples fall inside, P_app = 1.
-            return 1.0
-        if not query.intersects(mbr):
-            return 0.0
+    def samples_for(self, density: Density, object_id: int) -> ObjectSamples:
+        """The object's sample cloud — cached when a cache is attached."""
+        if self.cache is not None:
+            return self.cache.get(density, object_id)
         rng = np.random.default_rng((self.seed, object_id))
-        points = region.sample(self.n_samples, rng)
+        points = density.region.sample(self.n_samples, rng)
         weights = density.density(points)
-        total = float(weights.sum())
-        if total <= 0.0:
+        return ObjectSamples(points=points, weights=weights, total=float(weights.sum()))
+
+    def _integrate(self, density: Density, query: Rect, object_id: int) -> float:
+        samples = self.samples_for(density, object_id)
+        if samples.total <= 0.0:
             return 0.0
-        inside = query.contains_points(points)
-        return float(weights[inside].sum()) / total
+        inside = query.contains_points(samples.points)
+        return float(samples.weights[inside].sum()) / samples.total
 
 
 def estimate_appearance_probability(

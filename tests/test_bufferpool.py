@@ -97,6 +97,108 @@ class TestBufferPoolLRU:
             BufferPool(-1)
 
 
+class TestScanResistance:
+    """Sequential admission must not evict the main LRU working set."""
+
+    def test_scan_does_not_evict_main_frames(self):
+        pool = BufferPool(8)
+        fid = pool.register_file()
+        hot = list(range(8))
+        for page in hot:
+            pool.access(fid, page)  # warm the working set
+        # A flat scan floods 50 pages through the pool, sequentially.
+        scan_fid = pool.register_file()
+        for page in range(50):
+            pool.access(scan_fid, page, sequential=True)
+        # Every hot frame survived; the scan lives only in probation.
+        assert pool.resident_pages() == [(fid, p) for p in hot]
+        for page in hot:
+            assert pool.access(fid, page) is True
+        assert len(pool.probation_pages()) <= pool.probation_capacity
+
+    def test_probation_queue_is_fifo_bounded(self):
+        pool = BufferPool(16, probation_capacity=2)
+        fid = pool.register_file()
+        for page in range(100, 116):
+            pool.access(fid, page)  # fill main: no spare capacity left
+        pool.access(fid, 1, sequential=True)
+        pool.access(fid, 2, sequential=True)
+        pool.access(fid, 3, sequential=True)  # evicts 1 (oldest)
+        assert pool.probation_pages() == [(fid, 2), (fid, 3)]
+        assert pool.evictions == 1
+        assert pool.access(fid, 1, sequential=True) is False
+
+    def test_rereferenced_scan_page_promotes_to_main(self):
+        pool = BufferPool(8, probation_capacity=4)
+        fid = pool.register_file()
+        for page in range(100, 108):
+            pool.access(fid, page)  # fill main
+        assert pool.access(fid, 5, sequential=True) is False
+        assert (fid, 5) in pool
+        assert (fid, 5) not in pool.resident_pages()  # probation only
+        # Second touch (repeated scan, or a point read): hit + promote.
+        assert pool.access(fid, 5, sequential=True) is True
+        assert (fid, 5) in pool.resident_pages()
+        assert pool.probation_pages() == []
+        # Now a further scan flood cannot displace it.
+        for page in range(200, 260):
+            pool.access(fid, page, sequential=True)
+        assert pool.access(fid, 5) is True
+
+    def test_scan_uses_spare_main_capacity(self):
+        # An under-committed pool lends idle frames to scans (plain-LRU
+        # behavior), so repeated scans over a small file still hit even
+        # though a scan may never *evict* a resident frame.
+        pool = BufferPool(16, probation_capacity=4)
+        fid = pool.register_file()
+        for page in range(3):
+            pool.access(fid, page, sequential=True)
+        assert set(pool.resident_pages()) == {(fid, p) for p in range(3)}
+        assert pool.probation_pages() == []
+        hits_before = pool.hits
+        for page in range(3):
+            assert pool.access(fid, page, sequential=True) is True
+        assert pool.hits == hits_before + 3
+
+    def test_capacity_zero_disables_probation_too(self):
+        pool = BufferPool(0)
+        fid = pool.register_file()
+        assert pool.probation_capacity == 0
+        for _ in range(3):
+            assert pool.access(fid, 1, sequential=True) is False
+        assert len(pool) == 0
+
+    def test_sequential_scan_structure_uses_probation(self):
+        from repro.core.scan import SequentialScan
+        from repro.uncertainty.montecarlo import AppearanceEstimator
+
+        # Probation (capacity // 8 = 16) comfortably holds the ~9 summary
+        # pages, so repeated scans hit; a scan *larger* than probation
+        # would simply thrash the small queue — never the main LRU.
+        pool = BufferPool(128)
+        scan = SequentialScan(
+            2, pool=pool, estimator=AppearanceEstimator(n_samples=500, seed=1)
+        )
+        for obj in _objects(200):
+            scan.insert(obj)
+        pool.clear()
+        pool.reset_counters()
+        # Commit every main frame to a hot working set first, so the
+        # scan exercises the probation path, not spare capacity.
+        hot_fid = pool.register_file()
+        for page in range(pool.capacity):
+            pool.access(hot_fid, page)
+        query = _workload(1)[0]
+        scan.filter_candidates(query)
+        # The first scan admits summary pages to probation, not main.
+        assert len(pool.probation_pages()) > 0
+        assert all(key[0] == hot_fid for key in pool.resident_pages())
+        # A repeat scan hits what probation retained.
+        hits_before = pool.hits
+        scan.filter_candidates(query)
+        assert pool.hits > hits_before
+
+
 class TestPagerIntegration:
     def test_pagestore_reads_route_through_pool(self):
         io = IOCounter()

@@ -165,9 +165,15 @@ class TestBatchExecutor:
 
     def test_dedupe_disabled_reports_no_savings(self, utree):
         workload = _workload(6) * 2
-        result = BatchExecutor(utree, dedupe_pages=False).run(workload)
-        assert result.batch.data_page_fetches == result.batch.logical_data_page_reads
-        assert result.batch.data_pages_saved == 0
+        # Memo off too: every query then fetches its own pages.
+        plain = BatchExecutor(utree, dedupe_pages=False, memoize=False).run(workload)
+        assert plain.batch.data_page_fetches == plain.batch.logical_data_page_reads
+        assert plain.batch.data_pages_saved == 0
+        # With the memo on, the repeated queries are fully memoised and
+        # their pages are never fetched — savings without dedup.
+        memoed = BatchExecutor(utree, dedupe_pages=False).run(workload)
+        assert memoed.batch.data_page_fetches < memoed.batch.logical_data_page_reads
+        assert memoed.batch.data_pages_saved > 0
 
     def test_per_query_physical_reads_filled(self, utree):
         # Uncached tree: each query's filter charges its node accesses
@@ -311,6 +317,80 @@ class TestPlanner:
         report = planner.run(_workload(4))
         assert report.workload.count == 4
         assert len(report.decisions) == len(report.answers) == 4
+
+
+class TestPlannerCalibration:
+    def test_default_records_per_page_derived_from_data_file(self, utree, scan):
+        planner = Planner.for_structures(utree=utree, scan=scan)
+        # Derived from actual first-fit occupancy, not the 1.0 placeholder.
+        assert planner.data_records_per_page == pytest.approx(
+            utree.data_file.records_per_page
+        )
+        assert planner.data_records_per_page > 1.0
+
+    def test_layout_formula_matches_object_detail_size(self):
+        from repro.storage import layout
+
+        # detail_record_bytes must stay in sync with the object model at
+        # every dimensionality the planner might price.
+        for dim in (1, 2, 3, 5):
+            obj = UncertainObject(
+                0, UniformDensity(BallRegion(np.full(dim, 5000.0), 100.0))
+            )
+            assert layout.detail_record_bytes(dim) == obj.detail_size_bytes()
+            assert layout.data_records_per_page(dim) >= 1
+
+    def test_empty_structure_falls_back_to_layout(self):
+        from repro.storage import layout
+
+        scan = SequentialScan(2, estimator=AppearanceEstimator(n_samples=500, seed=1))
+        planner = Planner.for_structures(scan=scan)
+        assert planner.data_records_per_page == float(
+            layout.data_records_per_page(2, scan.data_file.page_size)
+        )
+
+    def test_observe_refines_constant(self, utree):
+        planner = Planner.for_structures(utree=utree, data_records_per_page=1.0)
+        report = planner.run(_workload(6))
+        # run() auto-observes: candidates share pages, so the constant
+        # must have moved up from the deliberately wrong prior.
+        assert planner.observations >= 1
+        assert planner.data_records_per_page > 1.0
+        # Manual observe keeps refining with EWMA blending.
+        before = planner.data_records_per_page
+        after = planner.observe(report.workload, smoothing=1.0)
+        pages = sum(q.data_page_reads for q in report.workload.queries)
+        candidates = sum(
+            q.prob_computations + q.memoized_probs for q in report.workload.queries
+        )
+        assert after == pytest.approx(candidates / pages)
+        assert after != before or planner.observations >= 2
+
+    def test_observe_ignores_empty_workload(self, utree):
+        from repro.core.stats import WorkloadStats
+
+        planner = Planner.for_structures(utree=utree, data_records_per_page=7.0)
+        assert planner.observe(WorkloadStats()) == 7.0
+        assert planner.observations == 0
+
+    def test_auto_observe_opt_out_pins_constant(self, utree):
+        planner = Planner.for_structures(
+            utree=utree, data_records_per_page=8.0, auto_observe=False
+        )
+        planner.run(_workload(4))
+        assert planner.data_records_per_page == 8.0  # pinned: no drift
+        assert planner.observations == 0
+        planner.observe(planner.run(_workload(4)).workload)  # explicit works
+        assert planner.observations == 1
+
+    def test_validation(self, utree):
+        from repro.core.stats import WorkloadStats
+
+        with pytest.raises(ValueError):
+            Planner(data_records_per_page=0.0)
+        planner = Planner.for_structures(utree=utree)
+        with pytest.raises(ValueError):
+            planner.observe(WorkloadStats(), smoothing=0.0)
 
 
 class TestUpdateMeasurement:

@@ -1,0 +1,471 @@
+"""Tests for the vectorized sample-reuse refinement engine.
+
+The load-bearing contract: every value the engine produces — scalar,
+batched, cached, parallel — is **bit-identical** (``==``, never
+``approx``) to the per-pair :class:`AppearanceEstimator` with the same
+``(n_samples, seed)``, across every pdf family and both region shapes.
+Everything else (cache accounting, executor parallelism, phase clocks) is
+layered on top of that guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.utree import UTree
+from repro.exec import BatchExecutor, RefinementEngine, execute_query
+from repro.exec.executor import QueryExecutor
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator, SampleCache
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    ConstrainedGaussianDensity,
+    MixtureDensity,
+    UniformDensity,
+    zipf_histogram,
+)
+from repro.uncertainty.regions import BallRegion, BoxRegion
+
+N_SAMPLES = 1500
+SEED = 17
+
+
+def _box(center, half):
+    return BoxRegion(Rect.from_center(np.asarray(center, dtype=float), half))
+
+
+def _pdf_zoo() -> list[UncertainObject]:
+    """One object per pdf family, over both region shapes."""
+    rng = np.random.default_rng(5)
+    objs = []
+    oid = 0
+    for _ in range(3):
+        c = rng.uniform(2000, 8000, 2)
+        objs.append(UncertainObject(oid, UniformDensity(BallRegion(c, 260.0))))
+        oid += 1
+        c = rng.uniform(2000, 8000, 2)
+        objs.append(UncertainObject(oid, UniformDensity(_box(c, 240.0))))
+        oid += 1
+        c = rng.uniform(2000, 8000, 2)
+        objs.append(
+            UncertainObject(
+                oid, ConstrainedGaussianDensity(BallRegion(c, 260.0), sigma=120.0)
+            )
+        )
+        oid += 1
+        c = rng.uniform(2000, 8000, 2)
+        objs.append(
+            UncertainObject(
+                oid, ConstrainedGaussianDensity(_box(c, 240.0), sigma=110.0)
+            )
+        )
+        oid += 1
+        c = rng.uniform(2000, 8000, 2)
+        objs.append(
+            UncertainObject(oid, zipf_histogram(_box(c, 250.0), 8, skew=1.1, seed=oid))
+        )
+        oid += 1
+        c = rng.uniform(2000, 8000, 2)
+        region = _box(c, 230.0)
+        objs.append(
+            UncertainObject(
+                oid,
+                MixtureDensity(
+                    [
+                        UniformDensity(region),
+                        ConstrainedGaussianDensity(region, sigma=90.0),
+                    ],
+                    weights=[0.4, 0.6],
+                ),
+            )
+        )
+        oid += 1
+    return objs
+
+
+def _query_rects(objs) -> list[Rect]:
+    """Partial overlaps, full containments and disjoint rectangles."""
+    rng = np.random.default_rng(23)
+    rects = []
+    for obj in objs:
+        centre = obj.mbr.center
+        # partial overlap: offset query straddling the region boundary
+        offset = rng.uniform(-1.0, 1.0, size=2) * 300.0
+        rects.append(Rect.from_center(centre + offset, rng.uniform(150.0, 500.0)))
+    # containment (covers everything) and far-away disjoint
+    rects.append(Rect([0.0, 0.0], [10_000.0, 10_000.0]))
+    rects.append(Rect([90_000.0, 90_000.0], [91_000.0, 91_000.0]))
+    return rects
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return _pdf_zoo()
+
+
+@pytest.fixture(scope="module")
+def rects(zoo):
+    return _query_rects(zoo)
+
+
+class TestBitIdentity:
+    """Engine output == estimator output, across every pdf family."""
+
+    def test_scalar_estimates_bit_identical(self, zoo, rects):
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        engine = RefinementEngine(n_samples=N_SAMPLES, seed=SEED)
+        for obj in zoo:
+            for rect in rects:
+                expected = estimator.estimate(obj.pdf, rect, object_id=obj.oid)
+                assert engine.estimate(obj, rect) == expected
+
+    def test_batch_estimates_bit_identical(self, zoo, rects):
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        engine = RefinementEngine(n_samples=N_SAMPLES, seed=SEED)
+        pairs = [(obj, rect) for obj in zoo for rect in rects]
+        batched = engine.estimate_batch(pairs)
+        expected = [
+            estimator.estimate(obj.pdf, rect, object_id=obj.oid)
+            for obj, rect in pairs
+        ]
+        assert batched == expected
+
+    def test_batch_spans_chunk_boundary(self, zoo):
+        """More rectangles than one mask chunk still matches exactly."""
+        obj = zoo[0]
+        rng = np.random.default_rng(41)
+        centre = obj.mbr.center
+        rects = [
+            Rect.from_center(centre + rng.uniform(-300, 300, 2), 200.0)
+            for _ in range(300)  # > _RECT_CHUNK
+        ]
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        engine = RefinementEngine(n_samples=N_SAMPLES, seed=SEED)
+        batched = engine.estimate_batch([(obj, r) for r in rects])
+        expected = [estimator.estimate(obj.pdf, r, object_id=obj.oid) for r in rects]
+        assert batched == expected
+
+    def test_cached_estimator_bit_identical(self, zoo, rects):
+        plain = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        cached = AppearanceEstimator(
+            n_samples=N_SAMPLES,
+            seed=SEED,
+            cache=SampleCache(N_SAMPLES, SEED, capacity=64),
+        )
+        for obj in zoo:
+            for rect in rects:
+                assert cached.estimate(obj.pdf, rect, object_id=obj.oid) == (
+                    plain.estimate(obj.pdf, rect, object_id=obj.oid)
+                )
+
+
+class TestSampleCache:
+    def test_draw_once_then_hit(self, zoo):
+        cache = SampleCache(N_SAMPLES, SEED, capacity=8)
+        obj = zoo[0]
+        first = cache.get(obj.pdf, obj.oid)
+        second = cache.get(obj.pdf, obj.oid)
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.draws == 1
+
+    def test_lru_bound_and_eviction(self, zoo):
+        cache = SampleCache(N_SAMPLES, SEED, capacity=2)
+        a, b, c = zoo[0], zoo[1], zoo[2]
+        cache.get(a.pdf, a.oid)
+        cache.get(b.pdf, b.oid)
+        cache.get(c.pdf, c.oid)  # evicts a
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert a.oid not in cache
+        assert b.oid in cache and c.oid in cache
+        cache.get(a.pdf, a.oid)  # re-draw counts another miss
+        assert cache.misses == 4
+
+    def test_capacity_zero_never_retains(self, zoo):
+        cache = SampleCache(N_SAMPLES, SEED, capacity=0)
+        obj = zoo[0]
+        cache.get(obj.pdf, obj.oid)
+        cache.get(obj.pdf, obj.oid)
+        assert len(cache) == 0
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_mismatched_estimator_config_rejected(self):
+        cache = SampleCache(1000, 3)
+        with pytest.raises(ValueError):
+            AppearanceEstimator(n_samples=2000, seed=3, cache=cache)
+        with pytest.raises(ValueError):
+            AppearanceEstimator(n_samples=1000, seed=4, cache=cache)
+        AppearanceEstimator(n_samples=1000, seed=3, cache=cache)  # matching: fine
+
+    def test_engine_shares_estimator_cache(self):
+        cache = SampleCache(1000, 3)
+        estimator = AppearanceEstimator(n_samples=1000, seed=3, cache=cache)
+        engine = RefinementEngine.from_estimator(estimator)
+        assert engine.cache is cache
+
+    def test_one_shared_engine_per_estimator(self):
+        estimator = AppearanceEstimator(n_samples=1000, seed=3)
+        a = RefinementEngine.from_estimator(estimator)
+        b = RefinementEngine.from_estimator(estimator)
+        assert a is b  # executors over one method share one sample cache
+        # Direct construction stays isolated.
+        assert RefinementEngine(1000, 3) is not a
+
+    def test_byte_budget_evicts_lru(self, zoo):
+        one_entry = SampleCache(N_SAMPLES, SEED, capacity=8).get(
+            zoo[0].pdf, zoo[0].oid
+        )
+        # Budget for two clouds: the third get evicts the oldest.
+        cache = SampleCache(
+            N_SAMPLES, SEED, capacity=8, max_bytes=2 * one_entry.nbytes
+        )
+        for obj in zoo[:3]:
+            cache.get(obj.pdf, obj.oid)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.resident_bytes <= 2 * one_entry.nbytes
+        assert zoo[0].oid not in cache
+
+    def test_byte_budget_always_keeps_one_entry(self, zoo):
+        cache = SampleCache(N_SAMPLES, SEED, capacity=8, max_bytes=1)
+        cache.get(zoo[0].pdf, zoo[0].oid)
+        assert len(cache) == 1  # a too-small budget still caches one
+
+    def test_reused_oid_with_new_object_redraws(self):
+        # Object ids are reusable (delete + re-insert): a hit must be
+        # served only for the exact density the cloud was drawn from.
+        cache = SampleCache(N_SAMPLES, SEED, capacity=8)
+        old = UncertainObject(1, UniformDensity(BallRegion([1000.0, 1000.0], 200.0)))
+        new = UncertainObject(1, UniformDensity(BallRegion([5000.0, 5000.0], 300.0)))
+        stale = cache.get(old.pdf, 1)
+        fresh = cache.get(new.pdf, 1)
+        assert fresh is not stale
+        assert cache.misses == 2  # the stale entry did not serve a hit
+        assert not np.array_equal(fresh.points, stale.points)
+
+    def test_batch_with_two_generations_of_one_oid(self):
+        # Both generations in the same batch: each pair must be masked
+        # against its own object's cloud, not the first-seen one's.
+        old = UncertainObject(1, UniformDensity(BallRegion([1000.0, 1000.0], 200.0)))
+        new = UncertainObject(1, UniformDensity(BallRegion([5000.0, 5000.0], 300.0)))
+        rect_old = Rect.from_center([1050.0, 1050.0], 150.0)
+        rect_new = Rect.from_center([5050.0, 5050.0], 200.0)
+        engine = RefinementEngine(N_SAMPLES, SEED)
+        values = engine.estimate_batch([(old, rect_old), (new, rect_new)])
+        reference = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        assert values == [
+            reference.estimate(old.pdf, rect_old, object_id=1),
+            reference.estimate(new.pdf, rect_new, object_id=1),
+        ]
+
+    def test_invalidate_drops_entry(self, zoo):
+        cache = SampleCache(N_SAMPLES, SEED, capacity=8)
+        obj = zoo[0]
+        cache.get(obj.pdf, obj.oid)
+        assert obj.oid in cache
+        cache.invalidate(obj.oid)
+        assert obj.oid not in cache
+        assert cache.resident_bytes == 0
+        cache.invalidate(999_999)  # absent: no-op
+
+    def test_batch_memo_not_stale_after_delete_reinsert(self):
+        # The memo is keyed by disk address (append-only, never reused),
+        # so replacing an object under the same oid cannot serve the old
+        # object's memoised probability on the next run.
+        tree = _tree(60)
+        query = _workload(1, qs=2000.0)[0]
+        executor = BatchExecutor(tree)
+        executor.run([query])  # warms the memo with the old objects
+        assert tree.delete(0) is not None
+        replacement = UncertainObject(
+            0, UniformDensity(BallRegion(query.rect.center, 220.0))
+        )
+        tree.insert(replacement)
+        answer = executor.run([query]).answers[0]
+        reference = AppearanceEstimator(n_samples=2000, seed=1)
+        expected = reference.estimate(replacement.pdf, query.rect, object_id=0)
+        assert (0 in answer.object_ids) == (expected >= query.threshold)
+
+    def test_warm_memo_skips_page_fetches(self):
+        tree = _tree(80)
+        workload = _workload(6)
+        executor = BatchExecutor(tree)
+        first = executor.run(workload)
+        assert first.batch.data_page_fetches > 0
+        second = executor.run(workload)  # fully memoised replay
+        assert second.batch.prob_computations == 0
+        assert second.batch.data_page_fetches == 0  # no payloads needed
+        # Logical accounting is unchanged by the skipped fetches.
+        for a, b in zip(first.workload.queries, second.workload.queries):
+            assert a.data_page_reads == b.data_page_reads
+
+    def test_delete_reinsert_same_oid_answers_stay_correct(self):
+        # End to end through the shared engine: replace object 0 with a
+        # different object under the same oid; the next query must price
+        # the new object, not replay the old cloud.
+        tree = _tree(60)
+        query = _workload(1, qs=2000.0)[0]
+        tree.query(query)  # warms the shared engine's cache
+        assert tree.delete(0) is not None
+        replacement = UncertainObject(
+            0, UniformDensity(BallRegion(query.rect.center, 220.0))
+        )
+        tree.insert(replacement)
+        answer = tree.query(query)
+        reference = AppearanceEstimator(n_samples=2000, seed=1)
+        expected = reference.estimate(replacement.pdf, query.rect, object_id=0)
+        assert (0 in answer.object_ids) == (expected >= query.threshold)
+
+
+class TestEstimatorTiming:
+    def test_short_circuits_are_untimed(self, zoo):
+        obj = zoo[0]
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        containing = Rect([0.0, 0.0], [10_000.0, 10_000.0])
+        disjoint = Rect([90_000.0, 90_000.0], [91_000.0, 91_000.0])
+        assert estimator.estimate(obj.pdf, containing, object_id=obj.oid) == 1.0
+        assert estimator.estimate(obj.pdf, disjoint, object_id=obj.oid) == 0.0
+        assert estimator.evaluations == 2
+        assert estimator.elapsed_seconds == 0.0  # no Monte-Carlo work charged
+
+    def test_real_work_is_timed(self, zoo):
+        obj = zoo[0]
+        estimator = AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+        partial = Rect.from_center(obj.mbr.center + 100.0, 200.0)
+        estimator.estimate(obj.pdf, partial, object_id=obj.oid)
+        assert estimator.elapsed_seconds > 0.0
+
+
+def _tree(n: int = 140):
+    rng = np.random.default_rng(9)
+    centres = rng.uniform(0, 10_000, (n, 2))
+    tree = UTree(2, estimator=AppearanceEstimator(n_samples=2000, seed=1))
+    for i in range(n):
+        tree.insert(UncertainObject(i, UniformDensity(BallRegion(centres[i], 250.0))))
+    return tree
+
+
+def _workload(n: int, qs: float = 1500.0, pq: float = 0.5, seed: int = 31):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(1000, 9000, (n, 2))
+    return [ProbRangeQuery(Rect.from_center(c, qs / 2.0), pq) for c in centres]
+
+
+class TestExecutorEngineIntegration:
+    def test_workload_sample_cache_reuse(self):
+        tree = _tree()
+        workload = _workload(6) * 2  # repeats guarantee candidate reuse
+        stats = QueryExecutor(tree).run(workload)
+        # Same objects recur across overlapping queries: the shared
+        # engine must serve some estimates from cached clouds.
+        assert stats.total_sample_cache_misses > 0
+        assert stats.total_sample_cache_hits > 0
+        # Cache traffic never exceeds P_app computations (short-circuited
+        # pairs skip the cache entirely).
+        total_probs = sum(q.prob_computations for q in stats.queries)
+        assert (
+            stats.total_sample_cache_hits + stats.total_sample_cache_misses
+            <= total_probs
+        )
+
+    def test_phase_clocks_populated(self):
+        tree = _tree()
+        answer = execute_query(tree, _workload(1)[0])
+        s = answer.stats
+        assert s.filter_seconds > 0.0
+        assert s.refine_seconds >= 0.0
+        assert s.wall_seconds >= s.filter_seconds + s.fetch_seconds + s.refine_seconds - 1e-6
+
+
+class TestParallelBatchExecutor:
+    def test_parallelism_one_matches_per_query_counters_exactly(self):
+        # The independent reference is the sequential single-query
+        # executor: with memoisation and page dedup disabled, a
+        # parallelism=1 batch must reproduce its QueryStats field by
+        # field (the ISSUE acceptance criterion).
+        tree = _tree()
+        workload = _workload(8)
+        reference = [execute_query(tree, q) for q in workload]
+        batch = BatchExecutor(
+            tree, parallelism=1, memoize=False, dedupe_pages=False
+        ).run(workload)
+        for ref, bat in zip(reference, batch.workload.queries):
+            assert bat.node_accesses == ref.stats.node_accesses
+            assert bat.data_page_reads == ref.stats.data_page_reads
+            assert bat.prob_computations == ref.stats.prob_computations
+            assert bat.memoized_probs == ref.stats.memoized_probs == 0
+            assert bat.validated_directly == ref.stats.validated_directly
+            assert bat.pruned == ref.stats.pruned
+            assert bat.result_count == ref.stats.result_count
+            assert bat.physical_reads == ref.stats.physical_reads
+
+    def test_parallelism_one_memo_conserves_computations(self):
+        # With the memo on, every P_app is either computed or served from
+        # the memo; the two must sum to the memo-less computation count.
+        tree = _tree()
+        workload = _workload(6) * 2
+        plain = BatchExecutor(tree, parallelism=1, memoize=False).run(workload)
+        memoed = BatchExecutor(tree, parallelism=1).run(workload)
+        for p, m in zip(plain.workload.queries, memoed.workload.queries):
+            assert m.prob_computations + m.memoized_probs == p.prob_computations
+        assert memoed.batch.memo_hits > 0
+
+    def test_parallel_answers_identical_to_sequential(self):
+        tree = _tree()
+        workload = _workload(10)
+        expected = [execute_query(tree, q).object_ids for q in workload]
+        for parallelism in (2, 4):
+            result = BatchExecutor(tree, parallelism=parallelism).run(workload)
+            assert [a.object_ids for a in result.answers] == expected
+            assert result.batch.parallelism == parallelism
+
+    def test_parallel_logical_io_preserved(self):
+        tree = _tree()
+        workload = _workload(8)
+        serial = BatchExecutor(tree, parallelism=1).run(workload)
+        parallel = BatchExecutor(tree, parallelism=3).run(workload)
+        for s, p in zip(serial.workload.queries, parallel.workload.queries):
+            assert s.node_accesses == p.node_accesses
+            assert s.data_page_reads == p.data_page_reads
+        assert (
+            serial.batch.logical_data_page_reads
+            == parallel.batch.logical_data_page_reads
+        )
+        assert serial.batch.unique_data_pages == parallel.batch.unique_data_pages
+
+    def test_parallel_with_simulated_latency_and_no_dedupe(self):
+        tree = _tree(60)
+        workload = _workload(5)
+        expected = [execute_query(tree, q).object_ids for q in workload]
+        result = BatchExecutor(
+            tree,
+            parallelism=3,
+            dedupe_pages=False,
+            io_latency_seconds=0.001,
+        ).run(workload)
+        assert [a.object_ids for a in result.answers] == expected
+        assert result.batch.fetch_seconds > 0.0
+        assert result.batch.data_page_fetches == result.batch.logical_data_page_reads
+
+    def test_invalid_parallelism_rejected(self):
+        tree = _tree(20)
+        with pytest.raises(ValueError):
+            BatchExecutor(tree, parallelism=0)
+        with pytest.raises(ValueError):
+            BatchExecutor(tree, io_latency_seconds=-1.0)
+
+    def test_batch_sample_cache_accounting(self):
+        tree = _tree()
+        workload = _workload(8)
+        executor = BatchExecutor(tree, memoize=False)
+        first = executor.run(workload)
+        assert first.batch.sample_cache_misses > 0
+        # The engine persists across runs: a replay draws nothing new.
+        second = executor.run(workload)
+        assert second.batch.sample_cache_misses == 0
+        assert second.batch.sample_cache_hits > 0
+        assert second.batch.sample_cache_hit_rate == 1.0
