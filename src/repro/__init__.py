@@ -38,7 +38,7 @@ from repro.core.pcr import PCRSet, compute_pcrs
 from repro.core.pruning import CFBRules, PCRRules, Verdict
 from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.core.scan import SequentialScan
-from repro.core.stats import QueryStats, WorkloadStats
+from repro.core.stats import QueryStats, ShardStats, WorkloadStats
 from repro.core.upcr import UPCRTree
 from repro.core.utree import UpdateCost, UTree
 from repro.exec.access import AccessMethod, FilterResult
@@ -46,10 +46,16 @@ from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
 from repro.exec.executor import QueryExecutor, execute_query, execute_workload
 from repro.exec.planner import Planner, PlanReport, PlannedQuery, ScanCostModel
 from repro.exec.refine import RefinementEngine, refine_with_engine
+from repro.exec.shard import (
+    ShardRouter,
+    ShardedAccessMethod,
+    hash_partition,
+    str_tile_partition,
+)
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
 from repro.storage.bufferpool import BufferPool
-from repro.storage.pager import DataFile, DiskAddress, IOCounter
+from repro.storage.pager import CompositeIOCounter, DataFile, DiskAddress, IOCounter
 from repro.storage.serialize import load_utree, save_utree
 from repro.uncertainty.montecarlo import (
     AppearanceEstimator,
@@ -83,6 +89,7 @@ __all__ = [
     "BoxRegion",
     "BufferPool",
     "CFBRules",
+    "CompositeIOCounter",
     "ConstrainedGaussianDensity",
     "CostEstimate",
     "DataFile",
@@ -112,6 +119,9 @@ __all__ = [
     "Rect",
     "SampleCache",
     "SequentialScan",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedAccessMethod",
     "UCatalog",
     "UPCRTree",
     "UTree",
@@ -130,11 +140,13 @@ __all__ = [
     "fit_cfbs",
     "fit_inner_cfb",
     "fit_outer_cfb",
+    "hash_partition",
     "load_utree",
     "poisson_histogram",
     "probabilistic_nearest_neighbors",
     "refine_with_engine",
     "save_utree",
+    "str_tile_partition",
     "tabulate_density",
     "zipf_histogram",
 ]

@@ -85,11 +85,15 @@ def _maxdist(point: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
     return float(np.linalg.norm(delta))
 
 
-def _collect_candidates(tree: UTree, point: np.ndarray, result: NNResult) -> list[UTreeLeafRecord]:
-    """Best-first filter step: prune by mindist against the best worst-case.
+def _walk_candidates(
+    tree: UTree, point: np.ndarray, result: NNResult
+) -> tuple[list[tuple[float, float, UTreeLeafRecord]], float]:
+    """Best-first descent: raw ``(mindist, maxdist, record)`` survivors.
 
-    Returns every object whose support could be closer to ``point`` than
-    some other object's farthest point — the NN candidate set.
+    Returns the candidates gathered under the tree's *running* best
+    worst-case plus the final tight bound.  Callers apply the final
+    prune themselves — the sharded path first tightens the bound across
+    every shard, so merged candidate sets equal the monolithic walk's.
     """
     best_worst = np.inf
     candidates: list[tuple[float, float, UTreeLeafRecord]] = []
@@ -124,12 +128,39 @@ def _collect_candidates(tree: UTree, point: np.ndarray, result: NNResult) -> lis
                     heapq.heappush(heap, (d_min, counter, entry.child))
                     counter += 1
 
+    return candidates, best_worst
+
+
+def _collect_candidates(tree, point: np.ndarray, result: NNResult) -> list[UTreeLeafRecord]:
+    """The NN candidate set: every object that could beat the best worst-case.
+
+    Accepts a single U-tree or a sharded set of them
+    (:class:`~repro.exec.shard.ShardedAccessMethod` with U-tree shards).
+    Sharded collection walks every non-empty shard, tightens the best
+    worst-case across all of them, then applies one global final prune —
+    by construction the surviving set is exactly the monolithic walk's
+    ``{o : mindist(q, o) <= global best_worst}``, so the joint
+    Monte-Carlo refinement (seeded per object id) is bit-identical no
+    matter how the objects were partitioned.
+    """
+    shards = getattr(tree, "shards", None)
+    if shards is None:
+        candidates, best_worst = _walk_candidates(tree, point, result)
+    else:
+        candidates = []
+        best_worst = np.inf
+        for shard in shards:
+            if len(shard) == 0:
+                continue
+            shard_candidates, shard_best = _walk_candidates(shard, point, result)
+            candidates.extend(shard_candidates)
+            best_worst = min(best_worst, shard_best)
     # Final prune with the tight best_worst found.
     return [rec for d_min, __, rec in candidates if d_min <= best_worst]
 
 
 def probabilistic_nearest_neighbors(
-    tree: UTree,
+    tree,
     point,
     rounds: int = 2000,
     seed: int = 0,
@@ -137,7 +168,9 @@ def probabilistic_nearest_neighbors(
     """Qualification probability of every NN candidate of ``point``.
 
     Args:
-        tree: a built U-tree.
+        tree: a built U-tree, or a sharded set of U-trees
+            (:class:`~repro.exec.shard.ShardedAccessMethod` built with
+            ``method="utree"``) — answers are bit-identical either way.
         point: the query location (length-d).
         rounds: Monte-Carlo rounds for the joint estimate; each round
             draws one location per candidate.
@@ -205,7 +238,7 @@ def probabilistic_nearest_neighbors(
 
 
 def expected_nearest_neighbors(
-    tree: UTree,
+    tree,
     point,
     k: int = 1,
     rounds: int = 2000,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["QueryStats", "WorkloadStats"]
+__all__ = ["QueryStats", "ShardStats", "WorkloadStats"]
 
 
 @dataclass
@@ -39,10 +39,17 @@ class QueryStats:
     sample_cache_misses: int = 0
     # Wall-clock phase split filled by the execution layer: filter walk,
     # data-page fetches, and Monte-Carlo refinement.  ``wall_seconds``
-    # remains the end-to-end figure (>= the sum of the phases).
+    # remains the end-to-end figure (>= the sum of the phases).  For a
+    # sharded method each phase field is accumulated once per *query* —
+    # a probe contributes only its own elapsed time, never the whole
+    # query window again.
     filter_seconds: float = 0.0
     fetch_seconds: float = 0.0
     refine_seconds: float = 0.0
+    # Sharded execution: per-shard filter passes run for this query and
+    # shards the router pruned without probing (0/0 for monolithic runs).
+    shard_probes: int = 0
+    shards_pruned: int = 0
 
     @property
     def total_io(self) -> int:
@@ -62,6 +69,30 @@ class QueryStats:
         if self.result_count == 0:
             return 0.0
         return self.validated_directly / self.result_count
+
+
+@dataclass
+class ShardStats:
+    """One shard's share of a batch: filter load, I/O and refine feed.
+
+    Produced by the sharded :class:`~repro.exec.batch.BatchExecutor`
+    path, one instance per shard per batch.  ``physical_reads`` and
+    ``cache_hits`` are exact per shard even under the parallel executor,
+    because every shard owns a private ``IOCounter`` that only its own
+    filter probes touch (refinement I/O lands on the shared data file
+    and is accounted at batch level).
+    """
+
+    shard: int = 0
+    probes: int = 0
+    routed_away: int = 0
+    node_accesses: int = 0
+    validated: int = 0
+    candidates: int = 0
+    pruned: int = 0
+    physical_reads: int = 0
+    cache_hits: int = 0
+    filter_seconds: float = 0.0
 
 
 @dataclass
@@ -140,6 +171,16 @@ class WorkloadStats:
     @property
     def avg_refine_seconds(self) -> float:
         return self._mean([q.refine_seconds for q in self.queries])
+
+    @property
+    def avg_shard_probes(self) -> float:
+        """Average per-shard filter passes per query (0 unsharded)."""
+        return self._mean([q.shard_probes for q in self.queries])
+
+    @property
+    def total_shards_pruned(self) -> int:
+        """Shard probes the router avoided across the workload."""
+        return sum(q.shards_pruned for q in self.queries)
 
     @property
     def avg_result_count(self) -> float:

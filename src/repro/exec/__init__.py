@@ -15,7 +15,12 @@ implementing the :class:`~repro.exec.access.AccessMethod` protocol) from
   probabilities, and optional thread-pool overlap of its filter / fetch /
   refine phases (``parallelism``);
 * :class:`~repro.exec.planner.Planner` — cost-model-driven access-method
-  selection per query, self-calibrating from observed workloads.
+  selection per query, self-calibrating from observed workloads;
+* :class:`~repro.exec.shard.ShardedAccessMethod` — ``N`` spatially or
+  hash-partitioned child structures behind one ``AccessMethod`` facade,
+  with a :class:`~repro.exec.shard.ShardRouter` pruning and cost-ordering
+  shard probes per query (answers stay bit-identical to the monolithic
+  path; the batch executor adds shard-group parallel filtering).
 
 Pair any of these with a :class:`repro.storage.bufferpool.BufferPool` to
 separate physical from logical I/O; with no pool (or capacity 0) all
@@ -39,6 +44,13 @@ from repro.exec.planner import (
     derive_data_records_per_page,
 )
 from repro.exec.refine import RefinementEngine, refine_with_engine
+from repro.exec.shard import (
+    PARTITIONERS,
+    ShardRouter,
+    ShardedAccessMethod,
+    hash_partition,
+    str_tile_partition,
+)
 
 __all__ = [
     "AccessMethod",
@@ -46,16 +58,21 @@ __all__ = [
     "BatchResult",
     "BatchStats",
     "FilterResult",
+    "PARTITIONERS",
     "PlanReport",
     "PlannedQuery",
     "Planner",
     "QueryExecutor",
     "RefinementEngine",
     "ScanCostModel",
+    "ShardRouter",
+    "ShardedAccessMethod",
     "derive_data_records_per_page",
     "execute_query",
     "execute_workload",
+    "hash_partition",
     "measure_delete_drain",
     "measure_insert_build",
     "refine_with_engine",
+    "str_tile_partition",
 ]

@@ -38,13 +38,19 @@ class FilterResult:
         candidates: surviving ``(oid, address)`` pairs for refinement.
         node_accesses: logical page reads the filter performed (index
             nodes for trees, flat-file pages for the sequential scan).
-        pruned: objects proven not to qualify.
+        pruned: objects proven not to qualify (for a sharded method this
+            includes every object of a router-pruned shard).
+        shard_probes: per-shard filter passes a sharded method executed
+            (0 for monolithic structures).
+        shards_pruned: shards the router skipped outright.
     """
 
     validated: list[int] = field(default_factory=list)
     candidates: list[tuple[int, DiskAddress]] = field(default_factory=list)
     node_accesses: int = 0
     pruned: int = 0
+    shard_probes: int = 0
+    shards_pruned: int = 0
 
 
 @runtime_checkable

@@ -42,6 +42,18 @@ Per-query :class:`~repro.core.stats.QueryStats` keep their *logical*
 meaning (a query that needed three data pages reports three data-page
 reads even if the batch fetched them earlier); the batch-level savings
 show up in the physical counters and in :class:`BatchStats`.
+
+Against a :class:`~repro.exec.shard.ShardedAccessMethod` the executor is
+shard-aware: it routes every query itself, groups queries by identical
+shard-overlap sets, and (in parallel mode) runs one filter task per
+``(group, shard)`` on the worker pool, so different shards filter
+concurrently while refinement drains through the shared data file.
+:class:`BatchStats` then carries one :class:`~repro.core.stats.ShardStats`
+per shard (probes, filter node accesses, exact per-shard physical
+reads / cache hits — each shard owns its counter — and the candidates it
+fed refinement).  Per-phase wall-clock fields stay *per query*: each
+shard probe contributes its own elapsed time exactly once to its query's
+``filter_seconds``, never the whole query window once per probe.
 """
 
 from __future__ import annotations
@@ -52,13 +64,20 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.query import ProbRangeQuery, QueryAnswer
-from repro.core.stats import QueryStats, WorkloadStats
-from repro.exec.access import AccessMethod
+from repro.core.stats import QueryStats, ShardStats, WorkloadStats
+from repro.exec.access import AccessMethod, FilterResult
 from repro.exec.refine import RefinementEngine, refine_with_engine
 from repro.geometry.rect import Rect
 from repro.storage.pager import DiskAddress
 
 __all__ = ["BatchExecutor", "BatchResult", "BatchStats"]
+
+# Queries per sharded filter task in parallel mode: large enough to
+# amortise task dispatch over a shard's warm walk, small enough that an
+# early query's probes resolve while the rest of its group still filters
+# (one task per whole group would stall the fetch/refine pipeline behind
+# the group's last member).
+_PROBE_CHUNK = 4
 
 
 @dataclass
@@ -67,6 +86,16 @@ class BatchStats:
 
     queries: int = 0
     parallelism: int = 1
+    # Sharded execution (zero / empty for monolithic methods): shard
+    # count, per-shard filter probes actually executed, probes the
+    # router pruned, and the per-shard cost breakdown.  Per-phase
+    # wall-clock fields below stay *per query*: a query probed against
+    # three shards contributes each probe's own elapsed time once —
+    # never the whole query window once per probe.
+    shards: int = 0
+    shard_probes: int = 0
+    shards_pruned: int = 0
+    shard_stats: list[ShardStats] = field(default_factory=list)
     unique_data_pages: int = 0
     data_page_fetches: int = 0
     logical_data_page_reads: int = 0
@@ -166,6 +195,93 @@ class BatchExecutor:
     def memo_size(self) -> int:
         return len(self._prob_memo)
 
+    # ------------------------------------------------------------------
+    # sharded-method support
+    # ------------------------------------------------------------------
+    @property
+    def _sharded(self):
+        """The method, when it is a routed shard set (else ``None``).
+
+        Duck-typed so this module needs no import of
+        :mod:`repro.exec.shard`: anything exposing ``shards`` plus the
+        ``route``/``merge_filter``/``filter_with`` trio gets shard-group
+        execution and per-shard accounting.
+        """
+        method = self.method
+        if (
+            getattr(method, "shards", None)
+            and callable(getattr(method, "route", None))
+            and callable(getattr(method, "merge_filter", None))
+            and callable(getattr(method, "filter_with", None))
+        ):
+            return method
+        return None
+
+    def _new_shard_stats(self) -> list[ShardStats] | None:
+        sharded = self._sharded
+        if sharded is None:
+            return None
+        return [ShardStats(shard=i) for i in range(len(sharded.shards))]
+
+    def _shard_io_baseline(self) -> list[tuple[int, int]] | None:
+        sharded = self._sharded
+        if sharded is None:
+            return None
+        return [(s.io.reads, s.io.cache_hits) for s in sharded.shards]
+
+    def _probe_serial(
+        self,
+        query: ProbRangeQuery,
+        shard_stats: list[ShardStats],
+    ) -> FilterResult:
+        """Route one query and probe its shards inline, tallying per shard.
+
+        Delegates to the facade's single serial filter implementation
+        (:meth:`ShardedAccessMethod.filter_with`), hooking the per-shard
+        tallies into its probe callback.
+        """
+        return self.method.filter_with(
+            query,
+            on_probe=lambda shard_id, filtered, elapsed: self._tally_probe(
+                shard_stats[shard_id], filtered, elapsed
+            ),
+        )
+
+    @staticmethod
+    def _tally_probe(
+        stats: ShardStats, filtered: FilterResult, elapsed: float
+    ) -> None:
+        stats.probes += 1
+        stats.node_accesses += filtered.node_accesses
+        stats.validated += len(filtered.validated)
+        stats.candidates += len(filtered.candidates)
+        stats.pruned += filtered.pruned
+        stats.filter_seconds += elapsed
+
+    def _settle_shard_stats(
+        self,
+        result: BatchResult,
+        shard_stats: list[ShardStats] | None,
+        baseline: list[tuple[int, int]] | None,
+    ) -> None:
+        """Attach per-shard I/O deltas and totals to the batch summary.
+
+        Exact in both execution modes: only a shard's own filter probes
+        touch its private counter (refinement reads land on the shared
+        data file), so a batch-window delta is that shard's filter I/O.
+        """
+        if shard_stats is None or baseline is None:
+            return
+        sharded = self._sharded
+        for stats, (reads0, hits0), shard in zip(
+            shard_stats, baseline, sharded.shards
+        ):
+            stats.physical_reads = shard.io.reads - reads0
+            stats.cache_hits = shard.io.cache_hits - hits0
+            stats.routed_away = result.batch.queries - stats.probes
+        result.batch.shards = len(shard_stats)
+        result.batch.shard_stats = shard_stats
+
     def run(self, queries: Sequence[ProbRangeQuery]) -> BatchResult:
         """Execute the whole workload, amortising page fetches and P_app."""
         if self.parallelism == 1:
@@ -186,9 +302,14 @@ class BatchExecutor:
         result = BatchResult()
         result.batch.queries = len(queries)
         result.batch.parallelism = 1
+        shard_stats = self._new_shard_stats()
+        shard_baseline = self._shard_io_baseline()
 
         # Phase 1: every query's filter pass (per-query node accounting;
         # the filter's physical/cache split is attributed per query).
+        # Sharded methods route here and probe shard by shard, so the
+        # per-shard tallies are exact; the query's own filter_seconds is
+        # the single whole-filter window (once per query, not per probe).
         per_query: list[tuple[ProbRangeQuery, QueryStats, QueryAnswer, list]] = []
         needed_pages: set[int] = set()
         for query in queries:
@@ -196,10 +317,15 @@ class BatchExecutor:
             q_reads, q_hits = io.reads, io.cache_hits
             stats = QueryStats()
             answer = QueryAnswer(stats=stats)
-            filtered = method.filter_candidates(query)
+            if shard_stats is None:
+                filtered = method.filter_candidates(query)
+            else:
+                filtered = self._probe_serial(query, shard_stats)
             stats.node_accesses = filtered.node_accesses
             stats.validated_directly = len(filtered.validated)
             stats.pruned = filtered.pruned
+            stats.shard_probes = filtered.shard_probes
+            stats.shards_pruned = filtered.shards_pruned
             answer.object_ids.extend(filtered.validated)
             stats.physical_reads = io.reads - q_reads
             stats.cache_hits = io.cache_hits - q_hits
@@ -256,6 +382,7 @@ class BatchExecutor:
             result.batch.fetch_seconds += sum(
                 s.fetch_seconds for _, s, _, _ in per_query
             )
+        self._settle_shard_stats(result, shard_stats, shard_baseline)
         self._finalise(
             result, per_query, io, reads0, writes0, hits0,
             (cache_hits0, cache_misses0), start,
@@ -277,6 +404,8 @@ class BatchExecutor:
         result = BatchResult()
         result.batch.queries = len(queries)
         result.batch.parallelism = self.parallelism
+        shard_stats = self._new_shard_stats()
+        shard_baseline = self._shard_io_baseline()
 
         fetch_clock: list[float] = []
 
@@ -333,19 +462,19 @@ class BatchExecutor:
                 stats.result_count = len(answer.object_ids)
                 stats.wall_seconds += time.perf_counter() - t0
 
-            # Phase 1 on the main thread; fetch and refine tasks start
-            # flowing while later queries are still being filtered.
-            for query in queries:
-                q_start = time.perf_counter()
-                stats = QueryStats()
-                answer = QueryAnswer(stats=stats)
-                filtered = method.filter_candidates(query)
+            def schedule(
+                query: ProbRangeQuery,
+                stats: QueryStats,
+                answer: QueryAnswer,
+                filtered: FilterResult,
+            ) -> None:
+                """Queue one filtered query's page fetches and refinement."""
                 stats.node_accesses = filtered.node_accesses
                 stats.validated_directly = len(filtered.validated)
                 stats.pruned = filtered.pruned
+                stats.shard_probes = filtered.shard_probes
+                stats.shards_pruned = filtered.shards_pruned
                 answer.object_ids.extend(filtered.validated)
-                stats.filter_seconds = time.perf_counter() - q_start
-                stats.wall_seconds = stats.filter_seconds
                 candidates = filtered.candidates
                 rect = query.rect
                 for _, addr in candidates:
@@ -362,6 +491,84 @@ class BatchExecutor:
                 refine_futures.append(
                     cpu_pool.submit(refine, query, stats, answer, candidates)
                 )
+
+            if shard_stats is None:
+                # Phase 1 on the main thread; fetch and refine tasks start
+                # flowing while later queries are still being filtered.
+                for query in queries:
+                    q_start = time.perf_counter()
+                    stats = QueryStats()
+                    answer = QueryAnswer(stats=stats)
+                    filtered = method.filter_candidates(query)
+                    stats.filter_seconds = time.perf_counter() - q_start
+                    stats.wall_seconds = stats.filter_seconds
+                    schedule(query, stats, answer, filtered)
+            else:
+                # Sharded phase 1: route every query on the main thread
+                # (cheap and deterministic), group queries by identical
+                # shard-overlap sets, and run the filter probes of each
+                # shard group on the worker pool — shard structures are
+                # read-only during queries and their counters/pools are
+                # lock-protected, so concurrent probes of one shard are
+                # safe.  A group's members are chunked across tasks so
+                # an early query's probes resolve without waiting for
+                # the whole group: its fetch and refinement overlap the
+                # remaining filter work, as in the monolithic path.
+                routes = [method.route(query) for query in queries]
+                groups: dict[frozenset[int], list[int]] = {}
+                for index, route in enumerate(routes):
+                    groups.setdefault(frozenset(route), []).append(index)
+
+                def probe_chunk(
+                    shard_id: int, members: list[int]
+                ) -> dict[int, tuple[FilterResult, float]]:
+                    shard = method.shards[shard_id]
+                    out: dict[int, tuple[FilterResult, float]] = {}
+                    for index in members:
+                        t0 = time.perf_counter()
+                        filtered = shard.filter_candidates(queries[index])
+                        out[index] = (filtered, time.perf_counter() - t0)
+                    return out
+
+                probe_futures: list[list[tuple[int, Future]]] = [
+                    [] for _ in queries
+                ]
+                for key, members in sorted(
+                    groups.items(), key=lambda item: item[1][0]
+                ):
+                    chunks = [
+                        members[at : at + _PROBE_CHUNK]
+                        for at in range(0, len(members), _PROBE_CHUNK)
+                    ]
+                    for shard_id in sorted(key):
+                        for chunk in chunks:
+                            future = cpu_pool.submit(
+                                probe_chunk, shard_id, chunk
+                            )
+                            for index in chunk:
+                                probe_futures[index].append((shard_id, future))
+                for index, query in enumerate(queries):
+                    stats = QueryStats()
+                    answer = QueryAnswer(stats=stats)
+                    probes: dict[int, tuple[FilterResult, float]] = {}
+                    for shard_id, future in probe_futures[index]:
+                        probes[shard_id] = future.result()[index]
+                    route = routes[index]
+                    filtered = method.merge_filter(
+                        route, [probes[shard_id][0] for shard_id in route]
+                    )
+                    for shard_id in route:
+                        self._tally_probe(
+                            shard_stats[shard_id], *probes[shard_id]
+                        )
+                    # Per-phase wall-clock once per query: each probe
+                    # bills its own elapsed time exactly once here — the
+                    # group task's other queries never land on this one.
+                    stats.filter_seconds = sum(
+                        elapsed for _, elapsed in probes.values()
+                    )
+                    stats.wall_seconds = stats.filter_seconds
+                    schedule(query, stats, answer, filtered)
             for future in refine_futures:
                 future.result()
             fetch_count = len(fetch_clock)
@@ -373,6 +580,7 @@ class BatchExecutor:
         result.batch.unique_data_pages = len(needed_pages)
         result.batch.data_page_fetches = fetch_count
         result.batch.fetch_seconds = sum(fetch_clock)
+        self._settle_shard_stats(result, shard_stats, shard_baseline)
         self._finalise(
             result, per_query, io, reads0, writes0, hits0,
             (cache_hits0, cache_misses0), start,
@@ -392,6 +600,12 @@ class BatchExecutor:
     ) -> None:
         result.batch.logical_data_page_reads = sum(
             s.data_page_reads for _, s, _, _ in per_query
+        )
+        result.batch.shard_probes = sum(
+            s.shard_probes for _, s, _, _ in per_query
+        )
+        result.batch.shards_pruned = sum(
+            s.shards_pruned for _, s, _, _ in per_query
         )
         result.batch.prob_computations = sum(
             s.prob_computations for _, s, _, _ in per_query

@@ -69,6 +69,8 @@ def execute_query(
     stats.node_accesses = filtered.node_accesses
     stats.validated_directly = len(filtered.validated)
     stats.pruned = filtered.pruned
+    stats.shard_probes = filtered.shard_probes
+    stats.shards_pruned = filtered.shards_pruned
     answer.object_ids.extend(filtered.validated)
 
     refine_with_engine(

@@ -227,6 +227,64 @@ class Planner:
             )
         return planner
 
+    @classmethod
+    def for_shards(
+        cls,
+        shards: Sequence[AccessMethod],
+        *,
+        data_records_per_page: float | None = None,
+        auto_observe: bool = False,
+    ) -> "Planner":
+        """A planner pricing each shard of a partitioned method.
+
+        Every shard registers as ``shard-<i>`` under the cost model its
+        structure warrants: :class:`ScanCostModel` for flat scans (any
+        method exposing ``scan_pages``), the Theodoridis–Sellis
+        :class:`~repro.core.costmodel.UTreeCostModel` for tree shards.
+        Empty shards price as ``inf`` — they sort last and the router's
+        bounds check prunes them outright.  The
+        :class:`~repro.exec.shard.ShardRouter` uses these estimates to
+        order probes; ``auto_observe`` defaults to False because the
+        router prices without executing through :meth:`run`.
+        """
+        # Imported here for the same circularity reason as for_structures.
+        from repro.core.costmodel import UTreeCostModel
+
+        shards = list(shards)
+        if not shards:
+            raise ValueError("at least one shard is required")
+        if data_records_per_page is None:
+            data_records_per_page = derive_data_records_per_page(shards[0])
+        planner = cls(data_records_per_page, auto_observe=auto_observe)
+        for i, shard in enumerate(shards):
+            if len(shard) == 0:
+                planner.register(f"shard-{i}", shard, lambda q: float("inf"))
+            elif hasattr(shard, "scan_pages"):
+                model = ScanCostModel(shard)
+                planner.register(
+                    f"shard-{i}",
+                    shard,
+                    lambda q, _m=model, _p=planner: _m.total_io(
+                        q, _p.data_records_per_page
+                    ),
+                )
+            else:
+                model = UTreeCostModel(shard)
+                planner.register(
+                    f"shard-{i}",
+                    shard,
+                    lambda q, _m=model, _p=planner: _m.estimate(q).total_io(
+                        _p.data_records_per_page
+                    ),
+                )
+        return planner
+
+    def price(self, name: str, query: ProbRangeQuery) -> float:
+        """One registered method's cost estimate for ``query``."""
+        if name not in self._cost_fns:
+            raise KeyError(f"method {name!r} is not registered")
+        return float(self._cost_fns[name](query))
+
     def observe(self, stats: WorkloadStats, *, smoothing: float = 0.5) -> float:
         """Refine the calibrated constants from an executed workload.
 

@@ -26,6 +26,7 @@ __all__ = [
     "dataset_objects",
     "build_utree",
     "build_upcr",
+    "build_sharded",
     "clear_caches",
 ]
 
@@ -102,6 +103,40 @@ def build_utree(
             tree.insert(obj)
         _tree_cache[key] = tree
     return _tree_cache[key]  # type: ignore[return-value]
+
+
+def build_sharded(
+    name: str,
+    scale: Scale,
+    *,
+    shards: int,
+    method: str = "utree",
+    partitioner: str = "str",
+    **build_kwargs,
+):
+    """A memoised sharded structure over the named dataset.
+
+    The harness' ``shards=N`` sweep knob: partitions the dataset across
+    ``shards`` child structures of the given ``method`` behind one
+    router-fronted facade (see :mod:`repro.exec.shard`).
+    """
+    from repro.exec.shard import ShardedAccessMethod
+
+    key = (
+        "sharded", method, name, scale.name, shards, partitioner,
+        tuple(sorted(build_kwargs.items())),
+    )
+    if key not in _tree_cache:
+        objects = dataset_objects(name, scale)
+        _tree_cache[key] = ShardedAccessMethod.build(
+            objects,
+            shards=shards,
+            method=method,
+            partitioner=partitioner,
+            estimator=_estimator(scale),
+            **build_kwargs,
+        )
+    return _tree_cache[key]
 
 
 def build_upcr(

@@ -13,7 +13,13 @@ from __future__ import annotations
 from repro.datasets.workload import make_workload
 from repro.exec.batch import BatchExecutor
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import DATASETS, build_upcr, build_utree, dataset_points
+from repro.experiments.data import (
+    DATASETS,
+    build_sharded,
+    build_upcr,
+    build_utree,
+    dataset_points,
+)
 from repro.experiments.harness import format_table, run_workload, total_cost_seconds
 
 __all__ = ["run", "main", "PQ_VALUES", "DEFAULT_QS"]
@@ -29,6 +35,8 @@ def run(
     qs: float = DEFAULT_QS,
     batched: bool = False,
     parallelism: int = 1,
+    shards: int = 1,
+    partitioner: str = "str",
 ) -> dict:
     """Sweep pq per dataset; returns the three panel series for each.
 
@@ -45,14 +53,23 @@ def run(
     sample cache persists across the sweep, so the first threshold pays
     the cloud draws and later ones reuse them.  ``parallelism`` (batched
     mode) overlaps the executor's phases on a thread pool; answers are
-    identical at any setting.
+    identical at any setting.  ``shards >= 2`` sweeps the threshold
+    panels against sharded execution (see :func:`repro.experiments.fig9.run`).
     """
     scale = scale if scale is not None else active_scale()
     out: dict = {}
     for name in datasets:
         points = dataset_points(name, scale)
-        utree = build_utree(name, scale)
-        upcr = build_upcr(name, scale)
+        if shards > 1:
+            utree = build_sharded(
+                name, scale, shards=shards, method="utree", partitioner=partitioner
+            )
+            upcr = build_sharded(
+                name, scale, shards=shards, method="upcr", partitioner=partitioner
+            )
+        else:
+            utree = build_utree(name, scale)
+            upcr = build_upcr(name, scale)
         # Same query regions across thresholds, as in the paper.
         base = make_workload(points, scale.queries_per_workload, qs, pq_values[0], seed=900)
         series: dict = {"pq": list(pq_values)}

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from repro.datasets.workload import make_workload
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import DATASETS, build_upcr, build_utree, dataset_points
+from repro.experiments.data import (
+    DATASETS,
+    build_sharded,
+    build_upcr,
+    build_utree,
+    dataset_points,
+)
 from repro.experiments.harness import (
     format_table,
     run_workload,
@@ -36,6 +42,8 @@ def run(
     pq: float = DEFAULT_PQ,
     batched: bool = False,
     parallelism: int = 1,
+    shards: int = 1,
+    partitioner: str = "str",
 ) -> dict:
     """Sweep qs per dataset; returns the three panel series for each.
 
@@ -48,6 +56,12 @@ def run(
     refinement engine reuses each object's Monte-Carlo cloud across the
     workload, so the CPU panel charges masking work, not redundant
     sampling.
+
+    ``shards >= 2`` partitions each dataset across that many child
+    structures behind the shard router (``partitioner`` picks the
+    :data:`~repro.exec.shard.PARTITIONERS` scheme) so the figure can be
+    swept against sharded execution — answers are identical at any
+    shard count; node-access panels then reflect routed probes.
     """
     scale = scale if scale is not None else active_scale()
     if batched:
@@ -58,8 +72,16 @@ def run(
     out: dict = {}
     for name in datasets:
         points = dataset_points(name, scale)
-        utree = build_utree(name, scale)
-        upcr = build_upcr(name, scale)
+        if shards > 1:
+            utree = build_sharded(
+                name, scale, shards=shards, method="utree", partitioner=partitioner
+            )
+            upcr = build_sharded(
+                name, scale, shards=shards, method="upcr", partitioner=partitioner
+            )
+        else:
+            utree = build_utree(name, scale)
+            upcr = build_upcr(name, scale)
         series: dict = {"qs": list(qs_values)}
         for label, tree in (("utree", utree), ("upcr", upcr)):
             ios, probs, validated, totals = [], [], [], []

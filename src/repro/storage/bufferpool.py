@@ -101,6 +101,28 @@ class BufferPool:
         self._next_file_id = 0
         self._lock = threading.RLock()
 
+    @classmethod
+    def partition(cls, capacity: int, shards: int) -> "list[BufferPool]":
+        """Slice one frame budget into ``shards`` independent pools.
+
+        A sharded access method gives each shard its own pool so one
+        shard's working set cannot evict another's — the memory-layer
+        analogue of the shard's private PageStore.  The total budget is
+        preserved: slice capacities are as even as possible and sum to
+        ``capacity`` exactly (earlier slices take the remainder).  A
+        ``capacity`` of 0 yields all-disabled pools, keeping the
+        uncached accounting contract shard by shard.  Note that a
+        nonzero budget smaller than ``shards`` leaves the *trailing*
+        slices at capacity 0 (fully disabled) — order the consumers so
+        the most valuable file takes an early slice.
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        base, extra = divmod(int(capacity), shards)
+        return [cls(base + (1 if i < extra else 0)) for i in range(shards)]
+
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------

@@ -19,7 +19,14 @@ from typing import Any
 
 from repro.storage.bufferpool import BufferPool, charge_page_read
 
-__all__ = ["DEFAULT_PAGE_SIZE", "IOCounter", "DiskAddress", "DataFile", "PageStore"]
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "CompositeIOCounter",
+    "IOCounter",
+    "DiskAddress",
+    "DataFile",
+    "PageStore",
+]
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -88,6 +95,59 @@ class IOCounter:
     def __repr__(self) -> str:
         return (
             f"IOCounter(reads={self.reads}, writes={self.writes}, "
+            f"cache_hits={self.cache_hits})"
+        )
+
+
+class CompositeIOCounter:
+    """A read-only aggregate view over several :class:`IOCounter`\\ s.
+
+    A sharded access method gives every shard its own counter (per-shard
+    attribution stays exact even when shards filter concurrently) but the
+    execution layer still wants "the method's I/O" as one number: this
+    view sums the children on every property read.  It intentionally has
+    no ``record_*`` methods — writes always go to a concrete child
+    counter, so an aggregate read can never race a lost update.
+    """
+
+    def __init__(self, counters: "list[IOCounter]"):
+        self._counters = list(counters)
+
+    @property
+    def reads(self) -> int:
+        return sum(c.reads for c in self._counters)
+
+    @property
+    def writes(self) -> int:
+        return sum(c.writes for c in self._counters)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self._counters)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def logical_reads(self) -> int:
+        return self.reads + self.cache_hits
+
+    def reset(self) -> None:
+        """Zero every underlying counter."""
+        for counter in self._counters:
+            counter.reset()
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.reads, self.writes)
+
+    def delta(self, snapshot: tuple[int, int]) -> tuple[int, int]:
+        return (self.reads - snapshot[0], self.writes - snapshot[1])
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeIOCounter(counters={len(self._counters)}, "
+            f"reads={self.reads}, writes={self.writes}, "
             f"cache_hits={self.cache_hits})"
         )
 

@@ -149,6 +149,75 @@ def test_extreme_catalogs():
         assert tree.query(query).sorted_ids() == expected
 
 
+def _sharded_property_trial(seed: int) -> None:
+    """One randomized sharding scenario against brute-force ground truth.
+
+    Draws a random object field, partition count, partitioner, child
+    structure and pruning mode, then checks that the sharded answers to
+    random rect workloads equal a monolithic ``SequentialScan``'s (the
+    exhaustive filter-everything baseline) — partitioning must never
+    change an answer set, whatever the configuration.
+    """
+    from repro.core.scan import SequentialScan
+    from repro.exec.shard import ShardedAccessMethod
+
+    rng = np.random.default_rng(seed)
+    n_objects = int(rng.integers(12, 36))
+    shards = int(rng.integers(1, 7))
+    partitioner = ("str", "hash")[int(rng.integers(0, 2))]
+    method = ("utree", "scan")[int(rng.integers(0, 2))]
+    prune = bool(rng.integers(0, 2))
+
+    objects = []
+    for i in range(n_objects):
+        centre = rng.uniform(2000, 8000, 2)
+        radius = float(rng.uniform(100, 450))
+        if i % 2 == 0:
+            pdf = UniformDensity(BallRegion(centre, radius), marginal_seed=i)
+        else:
+            pdf = ConstrainedGaussianDensity(
+                BallRegion(centre, radius), sigma=radius / 2, marginal_seed=i
+            )
+        objects.append(UncertainObject(i, pdf))
+
+    truth = SequentialScan(2, estimator=AppearanceEstimator(n_samples=4000, seed=42))
+    for obj in objects:
+        truth.insert(obj)
+    sharded = ShardedAccessMethod.build(
+        objects,
+        shards=shards,
+        partitioner=partitioner,
+        method=method,
+        estimator=AppearanceEstimator(n_samples=4000, seed=42),
+        prune=prune,
+    )
+    for q in range(5):
+        centre = rng.uniform(1500, 8500, 2)
+        half = float(rng.uniform(150, 2000))
+        pq = round(float(rng.uniform(0.05, 0.95)), 3)
+        query = ProbRangeQuery(Rect.from_center(centre, half), pq)
+        assert sharded.query(query).sorted_ids() == truth.query(query).sorted_ids(), (
+            f"seed {seed} query {q}: shards={shards} partitioner={partitioner} "
+            f"method={method} prune={prune} pq={pq}"
+        )
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_sharded_random_workloads_match_scan_ground_truth(seed):
+        _sharded_property_trial(seed)
+
+except ImportError:  # hypothesis is optional: a seeded stdlib sweep instead
+
+    @pytest.mark.parametrize("seed", [9100 + trial for trial in range(8)])
+    def test_sharded_random_workloads_match_scan_ground_truth(seed):
+        _sharded_property_trial(seed)
+
+
 def test_overlapping_identical_objects():
     """Many objects sharing one location stress tie-handling everywhere."""
     estimator = AppearanceEstimator(n_samples=10_000, seed=42)
