@@ -1,0 +1,181 @@
+"""Benches for the vectorized filter-phase kernel.
+
+The acceptance contract of the filter kernel, on the clustered workload
+(queries concentrated over a uniformly spread object field — the same
+shape the shard bench uses):
+
+* kernel filter-phase throughput is **at least 3x** the scalar rule
+  engines on the flat ``SequentialScan``, where the filter phase is pure
+  rule evaluation over every summary (no traversal noise) and the win is
+  the headline: one stacked Rules-1-5 call per query versus one scalar
+  ``PCRRules``/``CFBRules`` pass per object;
+* kernel verdicts are **bit-identical** (``==``) to the scalar engines —
+  whole ``FilterResult``s compare equal per query, including node-access
+  counts (the kernel never changes traversal, only leaf classification).
+
+U-tree filter timings over the same workload are *recorded* in the
+artifact for context: tree traversal already prunes most leaves, so its
+kernel win is smaller — the artifact shows both so the trade is visible.
+
+Headline numbers land in ``BENCH_filter.json`` (path overridable via
+``REPRO_FILTER_ARTIFACT``) for the CI perf-smoke job.  The wall-clock
+contract is skipped under ``REPRO_SKIP_PERF_ASSERT`` (the correctness
+matrix runs on noisy shared runners); verdict identity stays armed
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.query import ProbRangeQuery
+from repro.core.scan import SequentialScan
+from repro.core.utree import UTree
+from repro.geometry.rect import Rect
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+N_OBJECTS = 600
+N_QUERIES = 60
+SEED = 23
+ARTIFACT = os.environ.get("REPRO_FILTER_ARTIFACT", "BENCH_filter.json")
+
+
+def _objects() -> list[UncertainObject]:
+    rng = np.random.default_rng(47)
+    centres = rng.uniform(500, 9500, (N_OBJECTS, 2))
+    return [
+        UncertainObject(i, UniformDensity(BallRegion(centres[i], 220.0), marginal_seed=i))
+        for i in range(N_OBJECTS)
+    ]
+
+
+def _clustered_workload() -> list[ProbRangeQuery]:
+    """Queries packed into one corner region, thresholds spanning the rules."""
+    rng = np.random.default_rng(59)
+    thresholds = (0.1, 0.3, 0.5, 0.6, 0.8, 0.95)
+    return [
+        ProbRangeQuery(
+            Rect.from_center(rng.uniform(1500, 3500, 2), float(rng.uniform(300, 900))),
+            thresholds[i % len(thresholds)],
+        )
+        for i in range(N_QUERIES)
+    ]
+
+
+def _filter_only_seconds(method, workload) -> tuple[float, list]:
+    """Wall-clock of the filter phase alone, plus its results."""
+    results = []
+    start = time.perf_counter()
+    for query in workload:
+        results.append(method.filter_candidates(query))
+    return time.perf_counter() - start, results
+
+
+def _assert_results_equal(kernel_results, scalar_results):
+    for a, b in zip(kernel_results, scalar_results):
+        assert a.validated == b.validated
+        assert a.candidates == b.candidates
+        assert a.pruned == b.pruned
+        assert a.node_accesses == b.node_accesses
+
+
+@pytest.fixture(scope="module")
+def objects():
+    return _objects()
+
+
+class TestFilterKernelAcceptance:
+    def test_3x_filter_throughput_and_bit_identity(self, objects):
+        workload = _clustered_workload()
+        estimator = AppearanceEstimator(n_samples=500, seed=SEED)
+
+        scans = {}
+        for mode in ("on", "off"):
+            scan = SequentialScan(2, estimator=estimator, filter_kernel=mode)
+            for obj in objects:
+                scan.insert(obj)
+            scans[mode] = scan
+        # Warm-up (amortise any lazy allocation), then the timed passes.
+        scans["on"].filter_candidates(workload[0])
+        scans["off"].filter_candidates(workload[0])
+        kernel_seconds, kernel_results = _filter_only_seconds(scans["on"], workload)
+        scalar_seconds, scalar_results = _filter_only_seconds(scans["off"], workload)
+
+        # Bit-identical verdicts, query by query, in order.
+        _assert_results_equal(kernel_results, scalar_results)
+
+        # The recorded comparison: the same workload through U-trees.
+        trees = {}
+        for mode in ("on", "off"):
+            tree = UTree(2, estimator=estimator, filter_kernel=mode)
+            for obj in objects:
+                tree.insert(obj)
+            trees[mode] = tree
+        tree_kernel_seconds, tree_kernel_results = _filter_only_seconds(
+            trees["on"], workload
+        )
+        tree_scalar_seconds, tree_scalar_results = _filter_only_seconds(
+            trees["off"], workload
+        )
+        _assert_results_equal(tree_kernel_results, tree_scalar_results)
+
+        speedup = scalar_seconds / max(kernel_seconds, 1e-12)
+        verdicts = sum(
+            len(r.validated) + len(r.candidates) + r.pruned for r in scalar_results
+        )
+        with open(ARTIFACT, "w") as fh:
+            json.dump(
+                {
+                    "objects": N_OBJECTS,
+                    "queries": N_QUERIES,
+                    "verdicts": verdicts,
+                    "scan_filter_seconds_scalar": scalar_seconds,
+                    "scan_filter_seconds_kernel": kernel_seconds,
+                    "scan_filter_speedup": speedup,
+                    "scan_verdicts_per_second_scalar": verdicts
+                    / max(scalar_seconds, 1e-12),
+                    "scan_verdicts_per_second_kernel": verdicts
+                    / max(kernel_seconds, 1e-12),
+                    "utree_filter_seconds_scalar": tree_scalar_seconds,
+                    "utree_filter_seconds_kernel": tree_kernel_seconds,
+                    "utree_filter_speedup": tree_scalar_seconds
+                    / max(tree_kernel_seconds, 1e-12),
+                },
+                fh,
+                indent=2,
+            )
+
+        # Wall-clock is hostage to runner load; the fail-fast correctness
+        # matrix sets REPRO_SKIP_PERF_ASSERT so a noisy neighbour cannot
+        # fail a correctness build — the perf-smoke job (and local runs)
+        # keep the 3x contract armed.
+        if not os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+            assert speedup >= 3.0, (
+                f"filter-kernel speedup {speedup:.2f}x below the 3x contract "
+                f"({scalar_seconds:.3f}s vs {kernel_seconds:.3f}s)"
+            )
+
+    def test_warm_kernel_filter_throughput(self, benchmark, objects):
+        workload = _clustered_workload()
+        scan = SequentialScan(
+            2, estimator=AppearanceEstimator(n_samples=500, seed=SEED),
+            filter_kernel="on",
+        )
+        for obj in objects:
+            scan.insert(obj)
+
+        def run_filters():
+            return [scan.filter_candidates(q) for q in workload]
+
+        results = benchmark(run_filters)
+        assert len(results) == len(workload)
+        benchmark.extra_info["objects"] = N_OBJECTS
+        benchmark.extra_info["queries"] = N_QUERIES

@@ -3,6 +3,11 @@
 from repro.core.catalog import UCatalog
 from repro.core.costmodel import CostEstimate, UTreeCostModel
 from repro.core.cfb import LinearBoxFunction, fit_cfbs, fit_inner_cfb, fit_outer_cfb
+from repro.core.filterkernel import (
+    CFBFilterKernel,
+    PCRFilterKernel,
+    resolve_filter_kernel,
+)
 from repro.core.nn import (
     NNCandidate,
     NNResult,
@@ -18,11 +23,13 @@ from repro.core.upcr import UPCRLeafRecord, UPCRTree
 from repro.core.utree import UpdateCost, UTree, UTreeLeafRecord
 
 __all__ = [
+    "CFBFilterKernel",
     "CFBRules",
     "CostEstimate",
     "NNCandidate",
     "NNResult",
     "LinearBoxFunction",
+    "PCRFilterKernel",
     "PCRRules",
     "PCRSet",
     "ProbRangeQuery",
@@ -46,5 +53,6 @@ __all__ = [
     "fit_outer_cfb",
     "probabilistic_nearest_neighbors",
     "refine_candidates",
+    "resolve_filter_kernel",
     "subtree_may_qualify",
 ]

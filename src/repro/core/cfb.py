@@ -73,7 +73,8 @@ class LinearBoxFunction:
             mid = (lo + hi) / 2.0
             lo = np.where(crossing, mid, lo)
             hi = np.where(crossing, mid, hi)
-        return Rect(lo, hi)
+        # Internally derived and collapse-ordered: skip re-validation.
+        return Rect.from_arrays(lo, hi)
 
     def lower(self, p: float, axis: int) -> float:
         """The lower-face plane ``cfb_axis-(p)``."""

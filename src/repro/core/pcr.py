@@ -45,8 +45,13 @@ class PCRSet:
         return int(self.boxes.shape[2])
 
     def box(self, j: int) -> Rect:
-        """The PCR at catalog index ``j`` as a :class:`Rect`."""
-        return Rect(self.boxes[j, 0], self.boxes[j, 1])
+        """The PCR at catalog index ``j`` as a :class:`Rect`.
+
+        Uses the unvalidated fast-path constructor: the profile array is
+        validated (and ``lo <= hi``-clamped) once at construction, so the
+        per-rule box materialisation skips the per-call checks.
+        """
+        return Rect.from_arrays(self.boxes[j, 0], self.boxes[j, 1])
 
     def lower(self, j: int, axis: int) -> float:
         """The plane ``pcr_axis-(p_j)``."""

@@ -16,6 +16,11 @@ from collections.abc import Iterator
 
 from repro.core.catalog import UCatalog
 from repro.core.cfb import fit_cfbs
+from repro.core.filterkernel import (
+    CFBFilterKernel,
+    classify_records,
+    resolve_filter_kernel,
+)
 from repro.core.pcr import compute_pcrs
 from repro.core.pruning import CFBRules, Verdict
 from repro.core.query import ProbRangeQuery, QueryAnswer
@@ -43,6 +48,7 @@ class SequentialScan:
         io: IOCounter | None = None,
         pool: BufferPool | None = None,
         estimator: AppearanceEstimator | None = None,
+        filter_kernel: str | bool | None = None,
     ):
         self.catalog = catalog if catalog is not None else UCatalog.paper_utree_default()
         self.dim = dim
@@ -54,6 +60,11 @@ class SequentialScan:
         self.data_file = DataFile(self.io, page_size, pool=pool)
         self._entry_bytes = utree_layout(dim, page_size).leaf_entry_bytes
         self._records: list[UTreeLeafRecord] = []
+        self.kernel = (
+            CFBFilterKernel(self.catalog, dim)
+            if resolve_filter_kernel(filter_kernel)
+            else None
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -76,21 +87,24 @@ class SequentialScan:
         pcrs = compute_pcrs(obj, self.catalog)
         outer, inner = fit_cfbs(pcrs)
         address = self.data_file.append(obj, obj.detail_size_bytes())
-        self._records.append(
-            UTreeLeafRecord(
-                oid=obj.oid,
-                mbr=obj.mbr,
-                outer=outer,
-                inner=inner,
-                address=address,
-                rules=CFBRules(self.catalog, outer, inner),
-            )
+        record = UTreeLeafRecord(
+            oid=obj.oid,
+            mbr=obj.mbr,
+            outer=outer,
+            inner=inner,
+            address=address,
+            rules=CFBRules(self.catalog, outer, inner),
         )
+        if self.kernel is not None:
+            record.row = self.kernel.add(obj.mbr, outer, inner)
+        self._records.append(record)
 
     def delete(self, oid: int) -> bool:
         """Remove an object summary by id."""
         for i, record in enumerate(self._records):
             if record.oid == oid:
+                if self.kernel is not None:
+                    self.kernel.release(record.row)
                 del self._records[i]
                 return True
         return False
@@ -110,6 +124,13 @@ class SequentialScan:
                     self.io, self.pool, self._summary_file_id, page_id,
                     sequential=True,
                 )
+        if self.kernel is not None:
+            # One stacked Rules-1-5 call over the whole summary file —
+            # verdicts and ordering match the scalar loop bit for bit.
+            classify_records(
+                self.kernel, self._records, query.rect, query.threshold, result
+            )
+            return result
         for record in self._records:
             verdict = record.rules.apply(record.mbr, query.rect, query.threshold)
             if verdict is Verdict.VALIDATED:

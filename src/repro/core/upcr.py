@@ -23,6 +23,11 @@ import time
 from dataclasses import dataclass
 
 from repro.core.catalog import UCatalog
+from repro.core.filterkernel import (
+    PCRFilterKernel,
+    classify_records,
+    resolve_filter_kernel,
+)
 from repro.core.pcr import PCRSet, compute_pcrs
 from repro.core.pruning import PCRRules, Verdict, subtree_may_qualify
 from repro.core.query import ProbRangeQuery, QueryAnswer
@@ -43,12 +48,17 @@ __all__ = ["UPCRTree", "UPCRLeafRecord"]
 
 @dataclass
 class UPCRLeafRecord:
-    """Payload of a U-PCR leaf entry."""
+    """Payload of a U-PCR leaf entry.
+
+    ``row`` is the record's handle into the owning tree's columnar
+    filter-kernel sidecar (-1 when the kernel is off).
+    """
 
     oid: int
     pcrs: PCRSet
     address: DiskAddress
     rules: PCRRules
+    row: int = -1
 
 
 class UPCRTree:
@@ -64,6 +74,7 @@ class UPCRTree:
         pool: BufferPool | None = None,
         estimator: AppearanceEstimator | None = None,
         split_mode: str = "median-layer",
+        filter_kernel: str | bool | None = None,
     ):
         self.catalog = catalog if catalog is not None else UCatalog.paper_upcr_default(dim)
         self.dim = dim
@@ -82,6 +93,11 @@ class UPCRTree:
         )
         self.data_file = DataFile(self.io, page_size, pool=pool)
         self._profiles: dict[int, object] = {}
+        self.kernel = (
+            PCRFilterKernel(self.catalog, dim)
+            if resolve_filter_kernel(filter_kernel)
+            else None
+        )
 
     @classmethod
     def bulk_load(
@@ -110,6 +126,8 @@ class UPCRTree:
             record = UPCRLeafRecord(
                 oid=obj.oid, pcrs=pcrs, address=address, rules=PCRRules(pcrs)
             )
+            if tree.kernel is not None:
+                record.row = tree.kernel.add(pcrs)
             profile = pcrs.profile().copy()
             items.append((profile, record))
             tree._profiles[obj.oid] = profile
@@ -145,6 +163,8 @@ class UPCRTree:
         record = UPCRLeafRecord(
             oid=obj.oid, pcrs=pcrs, address=address, rules=PCRRules(pcrs)
         )
+        if self.kernel is not None:
+            record.row = self.kernel.add(pcrs)
         self.engine.insert(profile, record)
         self._profiles[obj.oid] = profile
         reads, writes = self.io.delta(snapshot)
@@ -156,9 +176,19 @@ class UPCRTree:
         if profile is None:
             return None
         snapshot = self.io.snapshot()
-        removed = self.engine.delete(lambda rec: rec.oid == oid, profile)
+        matched: list[UPCRLeafRecord] = []
+
+        def match(rec: UPCRLeafRecord) -> bool:
+            if rec.oid == oid:
+                matched.append(rec)
+                return True
+            return False
+
+        removed = self.engine.delete(match, profile)
         if not removed:
             return None
+        if self.kernel is not None and matched:
+            self.kernel.release(matched[0].row)
         del self._profiles[oid]
         reads, writes = self.io.delta(snapshot)
         return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=0.0)
@@ -170,7 +200,12 @@ class UPCRTree:
     # queries (the AccessMethod protocol)
     # ------------------------------------------------------------------
     def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
-        """Filter phase: subtree pruning plus Observation-2 leaf checks."""
+        """Filter phase: subtree pruning plus Observation-2 leaf checks.
+
+        With the kernel on, visited leaf records are classified by one
+        stacked Rules-1-5 call over the exact-PCR sidecar; verdicts,
+        ordering and node accesses match the scalar path bit for bit.
+        """
         rq = query.rect
         pq = query.threshold
         result = FilterResult()
@@ -178,10 +213,18 @@ class UPCRTree:
         def descend(entry: Entry) -> bool:
             return subtree_may_qualify(
                 self.catalog,
-                lambda j: Rect(entry.profile[j, 0], entry.profile[j, 1]),
+                lambda j: Rect.from_arrays(entry.profile[j, 0], entry.profile[j, 1]),
                 rq,
                 pq,
             )
+
+        if self.kernel is not None:
+            records: list[UPCRLeafRecord] = []
+            result.node_accesses = self.engine.traverse(
+                descend, lambda entry: records.append(entry.data)
+            )
+            classify_records(self.kernel, records, rq, pq, result)
+            return result
 
         def on_leaf(entry: Entry) -> None:
             record: UPCRLeafRecord = entry.data

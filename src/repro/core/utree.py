@@ -26,6 +26,11 @@ from dataclasses import dataclass
 
 from repro.core.catalog import UCatalog
 from repro.core.cfb import LinearBoxFunction, fit_cfbs
+from repro.core.filterkernel import (
+    CFBFilterKernel,
+    classify_records,
+    resolve_filter_kernel,
+)
 from repro.core.pcr import compute_pcrs
 from repro.core.pruning import CFBRules, Verdict, subtree_may_qualify
 from repro.core.query import ProbRangeQuery, QueryAnswer
@@ -45,7 +50,12 @@ __all__ = ["UTree", "UTreeLeafRecord", "UpdateCost"]
 
 @dataclass
 class UTreeLeafRecord:
-    """Payload of a U-tree leaf entry (what one leaf slot stores on disk)."""
+    """Payload of a U-tree leaf entry (what one leaf slot stores on disk).
+
+    ``row`` is the record's handle into the owning structure's columnar
+    filter-kernel sidecar (-1 when the kernel is off); it is in-memory
+    bookkeeping, not part of the on-disk entry layout.
+    """
 
     oid: int
     mbr: Rect
@@ -53,6 +63,7 @@ class UTreeLeafRecord:
     inner: LinearBoxFunction
     address: DiskAddress
     rules: CFBRules
+    row: int = -1
 
 
 @dataclass
@@ -82,6 +93,7 @@ class UTree:
         estimator: AppearanceEstimator | None = None,
         split_mode: str = "median-layer",
         intermediate_bounds: str = "linear",
+        filter_kernel: str | bool | None = None,
     ):
         """Build an empty U-tree.
 
@@ -95,6 +107,12 @@ class UTree:
         ``pool`` attaches a shared buffer pool in front of both the node
         store and the data file; omit it (or use capacity 0) for the
         paper's uncached I/O accounting.
+
+        ``filter_kernel`` (``"on"``/``"off"``; default resolves via the
+        ``REPRO_FILTER_KERNEL`` environment variable, then on) selects
+        the vectorized leaf-classification path: verdicts and node
+        accesses are bit-identical either way, ``"off"`` keeps the
+        paper-exact scalar per-record rule evaluation.
         """
         if intermediate_bounds not in ("linear", "exact"):
             raise ValueError(f"unknown intermediate_bounds {intermediate_bounds!r}")
@@ -115,6 +133,11 @@ class UTree:
         )
         self.data_file = DataFile(self.io, page_size, pool=pool)
         self._profiles: dict[int, object] = {}
+        self.kernel = (
+            CFBFilterKernel(self.catalog, dim)
+            if resolve_filter_kernel(filter_kernel)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -158,6 +181,8 @@ class UTree:
                 address=address,
                 rules=CFBRules(tree.catalog, outer, inner),
             )
+            if tree.kernel is not None:
+                record.row = tree.kernel.add(obj.mbr, outer, inner)
             profile = outer.profile(tree.catalog)
             items.append((profile, record))
             tree._profiles[obj.oid] = profile
@@ -203,6 +228,8 @@ class UTree:
             address=address,
             rules=CFBRules(self.catalog, outer, inner),
         )
+        if self.kernel is not None:
+            record.row = self.kernel.add(obj.mbr, outer, inner)
         self.engine.insert(profile, record)
         self._profiles[obj.oid] = profile
         reads, writes = self.io.delta(snapshot)
@@ -214,9 +241,19 @@ class UTree:
         if profile is None:
             return None
         snapshot = self.io.snapshot()
-        removed = self.engine.delete(lambda rec: rec.oid == oid, profile)
+        matched: list[UTreeLeafRecord] = []
+
+        def match(rec: UTreeLeafRecord) -> bool:
+            if rec.oid == oid:
+                matched.append(rec)
+                return True
+            return False
+
+        removed = self.engine.delete(match, profile)
         if not removed:
             return None
+        if self.kernel is not None and matched:
+            self.kernel.release(matched[0].row)
         del self._profiles[oid]
         reads, writes = self.io.delta(snapshot)
         return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=0.0)
@@ -229,7 +266,14 @@ class UTree:
     # ------------------------------------------------------------------
     def filter_candidates(self, query: ProbRangeQuery) -> FilterResult:
         """Filter phase: prune with Observation 4, classify leaves with
-        Observation 3, leave survivors for the executor's refinement."""
+        Observation 3, leave survivors for the executor's refinement.
+
+        Subtree descent is identical in both kernel modes; with the
+        kernel on, visited leaf records are collected in traversal order
+        and classified by one stacked Rules-1-5 call instead of one
+        scalar rule pass per record — verdicts, ordering and node
+        accesses are bit-identical.
+        """
         rq = query.rect
         pq = query.threshold
         result = FilterResult()
@@ -237,10 +281,18 @@ class UTree:
         def descend(entry: Entry) -> bool:
             return subtree_may_qualify(
                 self.catalog,
-                lambda j: Rect(entry.profile[j, 0], entry.profile[j, 1]),
+                lambda j: Rect.from_arrays(entry.profile[j, 0], entry.profile[j, 1]),
                 rq,
                 pq,
             )
+
+        if self.kernel is not None:
+            records: list[UTreeLeafRecord] = []
+            result.node_accesses = self.engine.traverse(
+                descend, lambda entry: records.append(entry.data)
+            )
+            classify_records(self.kernel, records, rq, pq, result)
+            return result
 
         def on_leaf(entry: Entry) -> None:
             record: UTreeLeafRecord = entry.data

@@ -320,6 +320,12 @@ class ShardedAccessMethod:
         the shared data file in **global object order**, so the data-file
         packing — and every candidate's disk address — is identical to a
         monolithic structure built over the same sequence.
+
+        Remaining ``method_kwargs`` reach every child constructor; in
+        particular ``filter_kernel="on"/"off"`` selects the vectorized
+        filter kernel per shard — each child owns its own columnar
+        sidecar, so a routed probe costs exactly one stacked Rules-1-5
+        kernel call per ``(query, shard)`` batch, serial or batched.
         """
         objects = list(objects)
         if shards < 1:

@@ -37,6 +37,7 @@ def run(
     parallelism: int = 1,
     shards: int = 1,
     partitioner: str = "str",
+    filter_kernel: str = "on",
 ) -> dict:
     """Sweep pq per dataset; returns the three panel series for each.
 
@@ -54,7 +55,10 @@ def run(
     the cloud draws and later ones reuse them.  ``parallelism`` (batched
     mode) overlaps the executor's phases on a thread pool; answers are
     identical at any setting.  ``shards >= 2`` sweeps the threshold
-    panels against sharded execution (see :func:`repro.experiments.fig9.run`).
+    panels against sharded execution, and ``filter_kernel`` sweeps the
+    vectorized filter kernel against the scalar rules (see
+    :func:`repro.experiments.fig9.run` for both knobs — counts are
+    identical, only wall-clock moves).
     """
     scale = scale if scale is not None else active_scale()
     out: dict = {}
@@ -62,17 +66,19 @@ def run(
         points = dataset_points(name, scale)
         if shards > 1:
             utree = build_sharded(
-                name, scale, shards=shards, method="utree", partitioner=partitioner
+                name, scale, shards=shards, method="utree",
+                partitioner=partitioner, filter_kernel=filter_kernel,
             )
             upcr = build_sharded(
-                name, scale, shards=shards, method="upcr", partitioner=partitioner
+                name, scale, shards=shards, method="upcr",
+                partitioner=partitioner, filter_kernel=filter_kernel,
             )
         else:
-            utree = build_utree(name, scale)
-            upcr = build_upcr(name, scale)
+            utree = build_utree(name, scale, filter_kernel=filter_kernel)
+            upcr = build_upcr(name, scale, filter_kernel=filter_kernel)
         # Same query regions across thresholds, as in the paper.
         base = make_workload(points, scale.queries_per_workload, qs, pq_values[0], seed=900)
-        series: dict = {"pq": list(pq_values)}
+        series: dict = {"pq": list(pq_values), "filter_kernel": filter_kernel}
         for label, tree in (("utree", utree), ("upcr", upcr)):
             # One executor per tree so the P_app memo spans the threshold
             # sweep (the rectangles are identical at every pq).

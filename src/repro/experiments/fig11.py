@@ -23,14 +23,26 @@ from repro.experiments.harness import format_table
 __all__ = ["run", "main"]
 
 
-def run(scale: Scale | None = None, datasets: tuple[str, ...] = DATASETS) -> dict:
-    """Measure per-dataset insertion and deletion cost of the U-tree."""
+def run(
+    scale: Scale | None = None,
+    datasets: tuple[str, ...] = DATASETS,
+    filter_kernel: str = "on",
+) -> dict:
+    """Measure per-dataset insertion and deletion cost of the U-tree.
+
+    ``filter_kernel`` sweeps the vectorized filter kernel's *update-side*
+    cost: with ``"on"`` every insert also appends the object's CFB
+    columns to the columnar sidecar (and every delete releases its row),
+    so the figure can report how much the kernel's bookkeeping adds to
+    the paper's per-update numbers (I/O is untouched — the sidecar is
+    memory-resident).
+    """
     scale = scale if scale is not None else active_scale()
     out: dict = {}
     for name in datasets:
         objects = dataset_objects(name, scale)
         dim = objects[0].dim
-        tree = UTree(dim)
+        tree = UTree(dim, filter_kernel=filter_kernel)
 
         insert_costs = measure_insert_build(tree, objects)
         insert_io = [cost.io_total for cost in insert_costs]
@@ -42,6 +54,7 @@ def run(scale: Scale | None = None, datasets: tuple[str, ...] = DATASETS) -> dic
         delete_io = [cost.io_total for cost in delete_costs]
 
         out[name] = {
+            "filter_kernel": filter_kernel,
             "insert_avg_io": float(np.mean(insert_io)),
             "insert_avg_cpu_seconds": float(np.mean(insert_cpu)),
             "insert_avg_io_seconds": float(np.mean(insert_io)) * scale.io_latency_seconds,

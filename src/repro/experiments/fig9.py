@@ -44,6 +44,7 @@ def run(
     parallelism: int = 1,
     shards: int = 1,
     partitioner: str = "str",
+    filter_kernel: str = "on",
 ) -> dict:
     """Sweep qs per dataset; returns the three panel series for each.
 
@@ -62,6 +63,13 @@ def run(
     :data:`~repro.exec.shard.PARTITIONERS` scheme) so the figure can be
     swept against sharded execution — answers are identical at any
     shard count; node-access panels then reflect routed probes.
+
+    ``filter_kernel`` sweeps the vectorized filter-phase kernel:
+    ``"on"`` (default) classifies leaf batches with stacked mask
+    reductions, ``"off"`` runs the paper-exact scalar rules.  Verdicts,
+    node accesses and prob-computation counts are identical either way —
+    only ``total_cost_seconds`` moves, so two runs report
+    scalar-vs-kernel wall-clock side by side.
     """
     scale = scale if scale is not None else active_scale()
     if batched:
@@ -74,15 +82,17 @@ def run(
         points = dataset_points(name, scale)
         if shards > 1:
             utree = build_sharded(
-                name, scale, shards=shards, method="utree", partitioner=partitioner
+                name, scale, shards=shards, method="utree",
+                partitioner=partitioner, filter_kernel=filter_kernel,
             )
             upcr = build_sharded(
-                name, scale, shards=shards, method="upcr", partitioner=partitioner
+                name, scale, shards=shards, method="upcr",
+                partitioner=partitioner, filter_kernel=filter_kernel,
             )
         else:
-            utree = build_utree(name, scale)
-            upcr = build_upcr(name, scale)
-        series: dict = {"qs": list(qs_values)}
+            utree = build_utree(name, scale, filter_kernel=filter_kernel)
+            upcr = build_upcr(name, scale, filter_kernel=filter_kernel)
+        series: dict = {"qs": list(qs_values), "filter_kernel": filter_kernel}
         for label, tree in (("utree", utree), ("upcr", upcr)):
             ios, probs, validated, totals = [], [], [], []
             for i, qs in enumerate(qs_values):

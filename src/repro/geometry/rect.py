@@ -60,6 +60,22 @@ class Rect:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_arrays(cls, lo: np.ndarray, hi: np.ndarray) -> "Rect":
+        """Unvalidated fast-path constructor for internally produced rects.
+
+        Skips the shape/ordering checks of ``__init__``: the caller must
+        supply 1-D float64 arrays with ``lo <= hi`` component-wise (and
+        must not mutate them afterwards).  Hot paths that derive bounds
+        from already-valid rectangles (PCR profile slices, unions,
+        intersections) use this; anything built from external input goes
+        through the validating constructor.
+        """
+        rect = object.__new__(cls)
+        rect.lo = lo
+        rect.hi = hi
+        return rect
+
+    @classmethod
     def from_point(cls, point: Iterable[float]) -> "Rect":
         """A degenerate rectangle covering a single point."""
         p = np.asarray(point, dtype=np.float64)
@@ -81,7 +97,7 @@ class Rect:
             raise ValueError("cannot bound an empty collection of rectangles")
         lo = np.min(np.stack([r.lo for r in rects]), axis=0)
         hi = np.max(np.stack([r.hi for r in rects]), axis=0)
-        return cls(lo, hi)
+        return cls.from_arrays(lo, hi)
 
     # ------------------------------------------------------------------
     # basic properties
@@ -140,7 +156,9 @@ class Rect:
     # ------------------------------------------------------------------
     def union(self, other: "Rect") -> "Rect":
         """The MBR of this rectangle and ``other``."""
-        return Rect(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+        return Rect.from_arrays(
+            np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi)
+        )
 
     def intersection(self, other: "Rect") -> "Rect | None":
         """The overlap rectangle, or ``None`` when disjoint."""
@@ -148,7 +166,7 @@ class Rect:
         hi = np.minimum(self.hi, other.hi)
         if np.any(lo > hi):
             return None
-        return Rect(lo, hi)
+        return Rect.from_arrays(lo, hi)
 
     def overlap_area(self, other: "Rect") -> float:
         """Volume of the intersection (0.0 when disjoint)."""
@@ -170,7 +188,7 @@ class Rect:
         lo = self.lo - amount
         hi = self.hi + amount
         mid = (lo + hi) / 2.0
-        return Rect(np.minimum(lo, mid), np.maximum(hi, mid))
+        return Rect.from_arrays(np.minimum(lo, mid), np.maximum(hi, mid))
 
     # ------------------------------------------------------------------
     # misc

@@ -41,6 +41,7 @@ fetch and filter threads.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 
 __all__ = ["BufferPool", "charge_page_read"]
@@ -109,19 +110,46 @@ class BufferPool:
         shard's working set cannot evict another's — the memory-layer
         analogue of the shard's private PageStore.  The total budget is
         preserved: slice capacities are as even as possible and sum to
-        ``capacity`` exactly (earlier slices take the remainder).  A
+        ``capacity`` exactly.  Remainder frames are *interleaved
+        round-robin* across the slice list (slice 0 always takes the
+        first bonus frame) rather than front-loaded onto a consecutive
+        prefix, so when consumers are grouped — e.g. shard 0's node
+        store next to shard 0's neighbours — the bonus capacity spreads
+        across the groups instead of piling onto the first one.  A
         ``capacity`` of 0 yields all-disabled pools, keeping the
-        uncached accounting contract shard by shard.  Note that a
-        nonzero budget smaller than ``shards`` leaves the *trailing*
-        slices at capacity 0 (fully disabled) — order the consumers so
-        the most valuable file takes an early slice.
+        uncached accounting contract shard by shard.
+
+        A *nonzero* budget smaller than ``shards`` cannot give every
+        slice a frame: the short slices — including the trailing one —
+        come out capacity 0 (fully disabled, silently uncached), which
+        is almost never what a caller sizing a cache wants, so this case
+        raises a ``UserWarning`` naming the disabled slice count.  Order
+        the consumers so the most valuable file takes slice 0, which is
+        always funded when any slice is.
         """
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
-        base, extra = divmod(int(capacity), shards)
-        return [cls(base + (1 if i < extra else 0)) for i in range(shards)]
+        capacity = int(capacity)
+        # Bresenham-style spread, anchored so slice 0 gets ceil(c/s):
+        # slice i receives the budget between the (shards-i-1)-th and
+        # (shards-i)-th evenly spaced cut points.
+        caps = [
+            (capacity * (shards - i)) // shards
+            - (capacity * (shards - i - 1)) // shards
+            for i in range(shards)
+        ]
+        if capacity and caps[-1] == 0:
+            warnings.warn(
+                f"buffer-pool budget {capacity} spans only "
+                f"{sum(1 for c in caps if c)} of {shards} slices; "
+                f"{sum(1 for c in caps if not c)} trailing/interleaved "
+                "slices are capacity 0 (uncached)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return [cls(c) for c in caps]
 
     # ------------------------------------------------------------------
     # registration

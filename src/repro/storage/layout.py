@@ -28,6 +28,7 @@ __all__ = [
     "NodeLayout",
     "data_records_per_page",
     "detail_record_bytes",
+    "filter_kernel_row_bytes",
     "rstar_layout",
     "upcr_layout",
     "utree_layout",
@@ -108,6 +109,24 @@ def detail_record_bytes(dim: int) -> int:
     """
     _check_dim(dim)
     return 2 * dim * FLOAT_SIZE + 4 * FLOAT_SIZE + POINTER_SIZE
+
+
+def filter_kernel_row_bytes(dim: int, catalog_size: int | None = None) -> int:
+    """Bytes one object contributes to the columnar filter-kernel sidecar.
+
+    The CFB sidecar (``catalog_size=None``) holds the MBR (``2d`` floats)
+    plus eight face-coefficient columns (``8d`` floats); the PCR sidecar
+    holds the MBR plus ``2dm`` plane columns.  The sidecar is an in-memory
+    acceleration structure, not an on-page entry — this accounting sizes
+    its footprint (``FilterKernel.size_bytes``) in the same byte
+    conventions as the node layouts above.
+    """
+    _check_dim(dim)
+    if catalog_size is None:
+        return 10 * dim * FLOAT_SIZE
+    if catalog_size < 1:
+        raise ValueError("catalog_size must be at least 1")
+    return (2 * dim + 2 * dim * catalog_size) * FLOAT_SIZE
 
 
 def data_records_per_page(dim: int, page_size: int = 4096) -> int:

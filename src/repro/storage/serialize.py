@@ -19,6 +19,7 @@ subclasses raise a clear error; tabulate them first.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any
 
 import numpy as np
@@ -183,6 +184,10 @@ def save_utree(tree: UTree, path) -> None:
         outer=outer,
         inner=inner,
         descriptors=np.array(descriptors, dtype=object),
+        # The mbrs/outer/inner stacks above ARE the columnar filter-kernel
+        # sidecar; this flag additionally round-trips whether the saved
+        # tree ran with the kernel enabled.
+        filter_kernel=np.int64(0 if tree.kernel is None else 1),
     )
 
 
@@ -194,13 +199,21 @@ def _object_for(tree: UTree, record: UTreeLeafRecord) -> UncertainObject:
     return obj
 
 
-def load_utree(path, estimator=None) -> UTree:
+def load_utree(path, estimator=None, *, filter_kernel=None) -> UTree:
     """Reconstruct a U-tree saved with :func:`save_utree`.
 
     The fitted CFBs are restored verbatim (no re-fitting); the node
     layout is rebuilt deterministically by STR packing.
+
+    ``filter_kernel`` overrides the loaded tree's kernel mode.  When left
+    ``None`` (and no ``REPRO_FILTER_KERNEL`` environment override is
+    set), the archive's own flag decides — a kernel-enabled tree survives
+    the round-trip as one.  The sidecar itself is rebuilt in bulk from
+    the archive's columnar MBR/CFB stacks
+    (:meth:`CFBFilterKernel.extend`), not object by object.
     """
     from repro.core.catalog import UCatalog
+    from repro.core.filterkernel import FILTER_KERNEL_ENV
     from repro.index.bulkload import bulk_load
 
     with np.load(path, allow_pickle=True) as archive:
@@ -215,9 +228,22 @@ def load_utree(path, estimator=None) -> UTree:
         outer = archive["outer"]
         inner = archive["inner"]
         descriptors = archive["descriptors"]
+        if (
+            filter_kernel is None
+            and os.environ.get(FILTER_KERNEL_ENV) is None
+            and "filter_kernel" in archive
+        ):
+            filter_kernel = bool(int(archive["filter_kernel"]))
 
     kwargs = {} if estimator is None else {"estimator": estimator}
-    tree = UTree(dim, catalog, page_size=page_size, **kwargs)
+    tree = UTree(
+        dim, catalog, page_size=page_size, filter_kernel=filter_kernel, **kwargs
+    )
+    rows = None
+    if tree.kernel is not None:
+        rows = tree.kernel.extend(
+            mbrs[:, 0], mbrs[:, 1], outer[:, 0], outer[:, 1], inner[:, 0], inner[:, 1]
+        )
     items = []
     for i, oid in enumerate(oids):
         pdf = density_from_descriptor(json.loads(descriptors[i]))
@@ -232,6 +258,7 @@ def load_utree(path, estimator=None) -> UTree:
             inner=inner_fn,
             address=address,
             rules=CFBRules(catalog, outer_fn, inner_fn),
+            row=-1 if rows is None else int(rows[i]),
         )
         profile = outer_fn.profile(catalog)
         items.append((profile, record))

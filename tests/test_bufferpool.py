@@ -323,3 +323,44 @@ class TestCapacityZeroReproducesSeedCounts:
         assert pooled.io.reads < plain.io.reads
         assert pooled.io.cache_hits > 0
         assert pooled.io.logical_reads == plain.io.logical_reads
+
+
+class TestPartition:
+    """Budget slicing: exact totals, round-robin remainders, 0-slice warning."""
+
+    def test_budget_preserved_and_remainder_interleaved(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # no warning on healthy budgets
+            caps = [p.capacity for p in BufferPool.partition(10, 4)]
+        assert sum(caps) == 10
+        # Remainder frames interleave round-robin across the slice list
+        # (slice 0 first), instead of piling onto a consecutive prefix.
+        assert caps == [3, 2, 3, 2]
+        assert [p.capacity for p in BufferPool.partition(6, 4)] == [2, 1, 2, 1]
+        # Even splits stay even and disabled budgets stay disabled.
+        assert [p.capacity for p in BufferPool.partition(8, 4)] == [2, 2, 2, 2]
+        assert all(p.capacity == 0 for p in BufferPool.partition(0, 5))
+
+    def test_slice_zero_always_funded_first(self):
+        # Slice 0 carries ceil(capacity / shards): the most valuable file
+        # (the shared data file, by convention) never silently loses its
+        # cache while any slice is funded.
+        with pytest.warns(UserWarning):
+            caps = [p.capacity for p in BufferPool.partition(2, 6)]
+        assert caps[0] == 1
+        assert sum(caps) == 2
+
+    def test_starved_budget_warns(self):
+        with pytest.warns(UserWarning, match="capacity 0"):
+            pools = BufferPool.partition(3, 5)
+        assert sum(p.capacity for p in pools) == 3
+        assert any(p.capacity == 0 for p in pools)
+        # A zero budget is deliberate (uncached accounting): no warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            BufferPool.partition(0, 5)
+            BufferPool.partition(12, 4)

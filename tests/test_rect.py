@@ -49,6 +49,27 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Rect([1, 0], [0, 1])
 
+    def test_from_arrays_agrees_with_validated_constructor(self):
+        """The unvalidated fast path builds the same rectangle."""
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            lo = rng.uniform(-100, 100, 3)
+            hi = lo + rng.uniform(0, 50, 3)
+            fast = Rect.from_arrays(lo.copy(), hi.copy())
+            checked = Rect(lo, hi)
+            assert fast == checked
+            assert hash(fast) == hash(checked)
+            assert fast.area() == checked.area()
+            assert fast.intersects(checked) and checked.contains(fast)
+        # Internally produced rects route through the fast path and still
+        # agree with first-principles construction.
+        a, b = Rect([0.0, 0.0], [2.0, 2.0]), Rect([1.0, 1.0], [3.0, 4.0])
+        assert a.union(b) == Rect([0.0, 0.0], [3.0, 4.0])
+        assert a.intersection(b) == Rect([1.0, 1.0], [2.0, 2.0])
+        # from_arrays skips validation by contract: the caller vouches.
+        inverted = Rect.from_arrays(np.array([1.0]), np.array([0.0]))
+        assert inverted.lo[0] == 1.0  # constructed, not rejected
+
     def test_rejects_shape_mismatch(self):
         with pytest.raises(ValueError):
             Rect([0, 0], [1, 1, 1])
