@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import workload_for
+from repro.api import Database, ExecConfig, RangeSpec
 from repro.core.utree import UTree
 from repro.exec import BatchExecutor, Planner, execute_query
 from repro.experiments.data import dataset_objects
@@ -118,3 +119,54 @@ class TestBatchExecutorBench:
         report = benchmark(planner.run, overlapping_workload[:8])
         assert report.workload.count == 8
         benchmark.extra_info["choices"] = report.choice_counts()
+
+
+class TestFacadeBench:
+    """The ``repro.api`` front door over the same workload.
+
+    The facade must add routing, typed results and config resolution
+    without an execution-path tax: its batched run is the same
+    ``BatchExecutor`` machinery, so answers are bit-identical and the
+    per-batch counters match a hand-wired executor over the same pool.
+    """
+
+    def test_facade_matches_hand_wired_executor(self, scale, overlapping_workload):
+        objects = dataset_objects("LB", scale)
+        config = ExecConfig(
+            mc_samples=scale.mc_samples, seed=7, pool_capacity=4096
+        )
+        db = Database.create(objects, config)
+
+        # Same estimator parameters -> bit-identical Monte-Carlo streams.
+        from repro.uncertainty.montecarlo import AppearanceEstimator
+
+        hand_tree = UTree(
+            2,
+            pool=BufferPool(4096),
+            estimator=AppearanceEstimator(n_samples=scale.mc_samples, seed=7),
+        )
+        for obj in objects:
+            hand_tree.insert(obj)
+        hand = BatchExecutor(hand_tree).run(overlapping_workload)
+
+        specs = [RangeSpec(q.rect, q.threshold) for q in overlapping_workload]
+        result = db.run(specs)
+        assert [r.object_ids for r in result] == [
+            a.object_ids for a in hand.answers
+        ]
+        assert result.batch.logical_data_page_reads == hand.batch.logical_data_page_reads
+        assert result.batch.prob_computations == hand.batch.prob_computations
+
+    def test_facade_batched_throughput(self, benchmark, scale, overlapping_workload):
+        objects = dataset_objects("LB", scale)
+        db = Database.create(
+            objects,
+            ExecConfig(mc_samples=scale.mc_samples, seed=7, pool_capacity=4096),
+        )
+        specs = [RangeSpec(q.rect, q.threshold) for q in overlapping_workload]
+        db.run(specs)  # warm pool, memo and sample cache
+
+        result = benchmark(db.run, specs)
+        benchmark.extra_info["physical_reads"] = result.batch.physical_reads
+        benchmark.extra_info["memo_hit_rate"] = round(result.batch.memo_hit_rate, 3)
+        assert result.batch.physical_reads == 0  # fully warm

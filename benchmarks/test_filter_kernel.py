@@ -27,7 +27,7 @@ everywhere.
 from __future__ import annotations
 
 import json
-import os
+from repro.env import env_value
 import time
 
 import numpy as np
@@ -45,7 +45,7 @@ from repro.uncertainty.regions import BallRegion
 N_OBJECTS = 600
 N_QUERIES = 60
 SEED = 23
-ARTIFACT = os.environ.get("REPRO_FILTER_ARTIFACT", "BENCH_filter.json")
+ARTIFACT = env_value("REPRO_FILTER_ARTIFACT", "BENCH_filter.json")
 
 
 def _objects() -> list[UncertainObject]:
@@ -157,7 +157,7 @@ class TestFilterKernelAcceptance:
         # matrix sets REPRO_SKIP_PERF_ASSERT so a noisy neighbour cannot
         # fail a correctness build — the perf-smoke job (and local runs)
         # keep the 3x contract armed.
-        if not os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        if not env_value("REPRO_SKIP_PERF_ASSERT"):
             assert speedup >= 3.0, (
                 f"filter-kernel speedup {speedup:.2f}x below the 3x contract "
                 f"({scalar_seconds:.3f}s vs {kernel_seconds:.3f}s)"

@@ -20,7 +20,7 @@ runs; the defaults match the bench scale used by the other suites.
 from __future__ import annotations
 
 import json
-import os
+from repro.env import env_int, env_value
 import time
 
 import numpy as np
@@ -35,10 +35,10 @@ from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.pdfs import UniformDensity
 from repro.uncertainty.regions import BallRegion
 
-N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "4000"))
+N_SAMPLES = env_int("REPRO_BENCH_SAMPLES", 4000)
 SEED = 7
 N_QUERIES = 200
-ARTIFACT = os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_refine.json")
+ARTIFACT = env_value("REPRO_BENCH_ARTIFACT", "BENCH_refine.json")
 
 
 def _objects(n: int = 48) -> list[UncertainObject]:
@@ -111,7 +111,7 @@ class TestEngineAcceptance:
         # matrix sets REPRO_SKIP_PERF_ASSERT so a noisy neighbour cannot
         # fail a correctness build — the perf-smoke job (and local runs)
         # keep the 3x contract armed.
-        if not os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        if not env_value("REPRO_SKIP_PERF_ASSERT"):
             assert speedup >= 3.0, (
                 f"engine speedup {speedup:.2f}x below the 3x contract "
                 f"({baseline_seconds:.3f}s vs {engine_seconds:.3f}s)"

@@ -28,7 +28,7 @@ wall-clock), so it stays armed on every runner.
 from __future__ import annotations
 
 import json
-import os
+from repro.env import env_int, env_value
 import time
 
 import numpy as np
@@ -44,12 +44,12 @@ from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.pdfs import UniformDensity
 from repro.uncertainty.regions import BallRegion
 
-N_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "4000"))
+N_SAMPLES = env_int("REPRO_BENCH_SAMPLES", 4000)
 SEED = 13
 N_OBJECTS = 300
 N_QUERIES = 48
 SHARDS = 9
-ARTIFACT = os.environ.get("REPRO_SHARD_ARTIFACT", "BENCH_shard.json")
+ARTIFACT = env_value("REPRO_SHARD_ARTIFACT", "BENCH_shard.json")
 
 
 def _objects() -> list[UncertainObject]:

@@ -2,9 +2,11 @@
 
 The U-tree makes no assumption about object pdfs.  This example indexes a
 mixed population — uniform circles, constrained Gaussians, Zipf-skewed
-histograms and mixtures — in ONE tree, then answers the same workload with
-all three access methods (U-tree, U-PCR, sequential scan) and prints the
-paper's cost comparison: identical answers, very different costs.
+histograms and mixtures — in ONE :class:`repro.api.Database` holding all
+three access methods (U-tree, U-PCR, sequential scan), answers the same
+workload pinned to each method, and prints the paper's cost comparison:
+identical answers, very different costs.  The planner's ``explain()``
+shows which method it would pick on its own.
 
 Run:  python examples/arbitrary_pdfs.py
 """
@@ -14,18 +16,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AppearanceEstimator,
     BallRegion,
     BoxRegion,
     ConstrainedGaussianDensity,
+    Database,
+    ExecConfig,
     MixtureDensity,
-    ProbRangeQuery,
+    RangeSpec,
     Rect,
-    SequentialScan,
     UncertainObject,
     UniformDensity,
-    UPCRTree,
-    UTree,
     zipf_histogram,
 )
 
@@ -62,28 +62,23 @@ def main() -> None:
     rng = np.random.default_rng(31)
     objects = [make_object(i, rng.uniform(500, 9_500, 2)) for i in range(N_OBJECTS)]
 
-    def estimator():
-        # Same seed for every structure: identical refinement estimates.
-        return AppearanceEstimator(n_samples=10_000, seed=9)
-
-    structures = {
-        "U-tree": UTree(2, estimator=estimator()),
-        "U-PCR": UPCRTree(2, estimator=estimator()),
-        "seq-scan": SequentialScan(2, estimator=estimator()),
-    }
-    for structure in structures.values():
-        for obj in objects:
-            structure.insert(obj)
+    # One database, three structures, one shared estimator: every method
+    # computes identical appearance probabilities.
+    db = Database.create(
+        objects,
+        ExecConfig(mc_samples=10_000, seed=9),
+        methods=("utree", "upcr", "scan"),
+    )
 
     print(f"{N_OBJECTS} objects across 4 pdf families indexed in all structures.")
-    print(f"index sizes: U-tree {structures['U-tree'].size_bytes // 1024} KiB, "
-          f"U-PCR {structures['U-PCR'].size_bytes // 1024} KiB\n")
+    print(f"index sizes: U-tree {db.access_method('utree').size_bytes // 1024} KiB, "
+          f"U-PCR {db.access_method('upcr').size_bytes // 1024} KiB\n")
 
-    workload = []
+    specs = []
     for i in range(10):
         centre = objects[int(rng.integers(0, N_OBJECTS))].mbr.center
-        workload.append(
-            ProbRangeQuery(
+        specs.append(
+            RangeSpec(
                 Rect.from_center(centre, float(rng.uniform(400, 1_400))),
                 round(float(rng.uniform(0.2, 0.9)), 2),
             )
@@ -93,26 +88,25 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     reference = None
-    for name, structure in structures.items():
-        totals = {"results": 0, "io": 0, "papp": 0, "validated": 0}
-        answers = []
-        for query in workload:
-            answer = structure.query(query)
-            answers.append(answer.sorted_ids())
-            totals["results"] += len(answer.object_ids)
-            totals["io"] += answer.stats.node_accesses + answer.stats.data_page_reads
-            totals["papp"] += answer.stats.prob_computations
-            totals["validated"] += answer.stats.validated_directly
+    for name in db.method_names:
+        batch = db.run(specs, method=name)
+        answers = [r.sorted_ids() for r in batch]
         if reference is None:
             reference = answers
         assert answers == reference, "structures disagree!"
         print(
-            f"{name:9s} {totals['results']:7d} {totals['io']:6d} "
-            f"{totals['papp']:6d} {totals['validated']:9d}"
+            f"{name:9s} {sum(len(r) for r in batch):7d} "
+            f"{sum(r.stats.total_io for r in batch):6d} "
+            f"{sum(r.stats.prob_computations for r in batch):6d} "
+            f"{sum(r.stats.validated_directly for r in batch):9d}"
         )
 
     print("\nAll three structures returned identical answers; the U-tree did it")
     print("with the least I/O, and both indexes avoided almost all integration.")
+
+    # Left to itself, the planner prices each query and routes it:
+    print("\nThe planner's verdict on the first query:")
+    print(db.explain(specs[0]).summary())
 
 
 if __name__ == "__main__":

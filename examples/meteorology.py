@@ -8,7 +8,8 @@ likely near the reported value, as the paper suggests for temperature).
 
 The paper's example query: "identify the regions whose temperatures are
 in [75F, 80F], humidity in [40%, 60%] and UV index in [4.5, 6] with at
-least 70% likelihood" — a 3-D prob-range query.
+least 70% likelihood" — a 3-D prob-range query, asked through the
+:class:`repro.api.Database` facade.
 
 Run:  python examples/meteorology.py
 """
@@ -18,13 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AppearanceEstimator,
     BoxRegion,
     ConstrainedGaussianDensity,
-    ProbRangeQuery,
+    Database,
+    ExecConfig,
+    RangeSpec,
     Rect,
     UncertainObject,
-    UTree,
 )
 
 N_STATIONS = 250
@@ -55,37 +56,40 @@ def main() -> None:
     uv = np.clip((temperature - 40) / 8 + rng.normal(0, 1.2, N_STATIONS), 0, 11)
     readings = np.stack([temperature, humidity, uv], axis=1)
 
-    tree = UTree(dim=3, estimator=AppearanceEstimator(n_samples=12_000, seed=5))
-    for oid, reading in enumerate(readings):
-        tree.insert(station_object(oid, reading))
-    print(f"Indexed {len(tree)} stations (3-D box regions, Gaussian pdfs).\n")
+    db = Database.create(
+        [station_object(oid, reading) for oid, reading in enumerate(readings)],
+        ExecConfig(mc_samples=12_000, seed=5),
+    )
+    print(f"Indexed {len(db)} stations (3-D box regions, Gaussian pdfs).\n")
 
-    # The paper's example query.
+    # The paper's example query, swept over confidences in one batch:
+    # the facade's batched executor fetches shared data pages once.
     comfortable = Rect([75.0, 40.0, 4.5], [80.0, 60.0, 6.0])
-    for confidence in (0.3, 0.5, 0.7):
-        answer = tree.query(ProbRangeQuery(comfortable, confidence))
-        s = answer.stats
+    batch = db.run([RangeSpec(comfortable, c) for c in (0.3, 0.5, 0.7)])
+    for result in batch:
+        s = result.stats
         print(
-            f"T in [75, 80], H in [40, 60], UV in [4.5, 6] @ >= {confidence:.0%}: "
-            f"{len(answer.object_ids):3d} stations | I/O {s.node_accesses:3d}, "
+            f"T in [75, 80], H in [40, 60], UV in [4.5, 6] @ >= "
+            f"{result.spec.threshold:.0%}: "
+            f"{len(result):3d} stations | I/O {s.node_accesses:3d}, "
             f"P_app computed {s.prob_computations:3d}"
         )
 
     # Wider query: heat-stress watch (high temperature OR high UV corner).
     hot = Rect([88.0, 10.0, 0.0], [110.0, 95.0, 11.0])
-    answer = tree.query(ProbRangeQuery(hot, 0.6))
+    result = db.query(RangeSpec(hot, 0.6))
     print(
-        f"\nHeat watch (T >= 88F @ >= 60%): {len(answer.object_ids)} stations, "
-        f"{answer.stats.validated_directly} validated without integration."
+        f"\nHeat watch (T >= 88F @ >= 60%): {len(result)} stations, "
+        f"{result.stats.validated_directly} validated without integration."
     )
 
     # A new half-hourly report cycle updates a third of the stations.
     refresh = rng.choice(N_STATIONS, size=N_STATIONS // 3, replace=False)
     for oid in refresh:
-        tree.delete(int(oid))
+        db.delete(int(oid))
         readings[oid, 0] += rng.normal(0, 2.0)
-        tree.insert(station_object(int(oid), readings[oid]))
-    print(f"Refreshed {len(refresh)} stations; index still holds {len(tree)}.")
+        db.insert(station_object(int(oid), readings[oid]))
+    print(f"Refreshed {len(refresh)} stations; database still holds {len(db)}.")
 
 
 if __name__ == "__main__":

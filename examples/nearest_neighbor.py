@@ -3,9 +3,10 @@
 "Which taxi is most likely closest to this passenger?"  Each taxi's
 position is uncertain (last report + drift circle), so the nearest
 neighbour is a distribution over taxis, not a single answer.  This
-example builds a U-tree over a taxi fleet, asks for the qualification
-probability of every candidate, and contrasts it with the naive answer
-(distance to last-reported positions), which can disagree.
+example builds a U-tree-backed :class:`repro.api.Database` over a taxi
+fleet, asks a declarative :class:`repro.api.NearestSpec` for the
+qualification probability of every candidate, and contrasts it with the
+naive answer (distance to last-reported positions), which can disagree.
 
 Run:  python examples/nearest_neighbor.py
 """
@@ -17,11 +18,10 @@ import numpy as np
 from repro import (
     BallRegion,
     ConstrainedGaussianDensity,
+    Database,
+    NearestSpec,
     UncertainObject,
     UniformDensity,
-    UTree,
-    expected_nearest_neighbors,
-    probabilistic_nearest_neighbors,
 )
 
 N_TAXIS = 200
@@ -33,7 +33,7 @@ def main() -> None:
     # Uncertainty grows with time since last report.
     staleness = rng.uniform(0.3, 1.0, N_TAXIS)
 
-    tree = UTree(dim=2)
+    fleet = []
     for oid in range(N_TAXIS):
         radius = 150.0 + 350.0 * staleness[oid]
         region = BallRegion(reported[oid], radius)
@@ -43,10 +43,12 @@ def main() -> None:
             pdf = ConstrainedGaussianDensity(region, sigma=radius / 2.5, marginal_seed=oid)
         else:
             pdf = UniformDensity(region, marginal_seed=oid)
-        tree.insert(UncertainObject(oid, pdf))
+        fleet.append(UncertainObject(oid, pdf))
+    db = Database.create(fleet)
 
     passenger = np.array([4_200.0, 6_100.0])
-    result = probabilistic_nearest_neighbors(tree, passenger, rounds=4_000, seed=5)
+    answer = db.nearest(NearestSpec(passenger, k=6, rounds=4_000, seed=5))
+    result = answer.nn
 
     print(f"Passenger at {passenger.tolist()} — NN candidates "
           f"({result.objects_examined} taxis examined, "
@@ -65,9 +67,9 @@ def main() -> None:
     if naive_winner != prob_winner:
         print("-> the answers differ: uncertainty changed the best dispatch!")
 
-    top3 = expected_nearest_neighbors(tree, passenger, k=3, rounds=4_000, seed=5)
+    top3 = db.nearest(NearestSpec(passenger, k=3, rounds=4_000, seed=5, mode="expected"))
     print("\ntop-3 by expected distance:",
-          [(c.oid, round(c.expected_distance, 1)) for c in top3.candidates])
+          [(c.oid, round(c.expected_distance, 1)) for c in top3.nn.candidates])
 
 
 if __name__ == "__main__":

@@ -1,9 +1,15 @@
 """Quickstart: index uncertain objects and run probabilistic range queries.
 
-Builds a U-tree over a few hundred uncertain objects (uniform pdfs over
-circular uncertainty regions, the paper's Figure 1 setup), runs one
-prob-range query at several probability thresholds, and prints the cost
-breakdown the index is designed to optimise.
+Builds a U-tree-backed :class:`repro.api.Database` over a few hundred
+uncertain objects (uniform pdfs over circular uncertainty regions, the
+paper's Figure 1 setup), runs one prob-range query at several probability
+thresholds, and prints the cost breakdown the index is designed to
+optimise — plus the planner's ``explain()`` view of one query.
+
+The whole engine sits behind two classes::
+
+    db = Database.create(objects, ExecConfig(...))
+    result = db.query(RangeSpec(window, threshold))
 
 Run:  python examples/quickstart.py
 """
@@ -13,13 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AppearanceEstimator,
     BallRegion,
-    ProbRangeQuery,
+    Database,
+    ExecConfig,
+    RangeSpec,
     Rect,
     UncertainObject,
     UniformDensity,
-    UTree,
 )
 
 
@@ -34,31 +40,33 @@ def main() -> None:
         region = BallRegion(reported, radius=250.0)
         objects.append(UncertainObject(oid, UniformDensity(region, marginal_seed=oid)))
 
-    # 2. Build the index.  Insertion pre-computes each object's PCRs and
-    #    fits its conservative functional boxes by linear programming.
-    tree = UTree(dim=2, estimator=AppearanceEstimator(n_samples=10_000, seed=7))
-    for obj in objects:
-        tree.insert(obj)
-    print(f"U-tree built: {len(tree)} objects, height {tree.height}, "
+    # 2. Build the database.  One ExecConfig wires everything: the
+    #    Monte-Carlo estimator, the filter kernel, sharding, batching.
+    db = Database.create(objects, ExecConfig(mc_samples=10_000, seed=7))
+    tree = db.access_method("utree")
+    print(f"{db!r}\nU-tree height {tree.height}, "
           f"{tree.size_bytes / 1024:.0f} KiB of node pages\n")
 
     # 3. Query: "which objects are in this window with probability >= p?"
     window = Rect([3_000, 3_000], [6_000, 6_000])
     for threshold in (0.2, 0.5, 0.8):
-        answer = tree.query(ProbRangeQuery(window, threshold))
-        s = answer.stats
+        result = db.query(RangeSpec(window, threshold))
+        s = result.stats
         print(
-            f"pq = {threshold:.1f}: {len(answer.object_ids):3d} results | "
+            f"pq = {threshold:.1f}: {len(result):3d} results | "
             f"node accesses {s.node_accesses:3d}, data pages {s.data_page_reads:2d}, "
             f"P_app computations {s.prob_computations:2d} "
             f"({s.validated_directly} results validated without any integration)"
         )
 
-    # 4. The index is fully dynamic.
-    removed = answer.object_ids[:5]
+    # 4. explain() previews the plan without running anything.
+    print("\n" + db.explain(RangeSpec(window, 0.5)).summary())
+
+    # 5. The index is fully dynamic.
+    removed = result.object_ids[:5]
     for oid in removed:
-        tree.delete(oid)
-    print(f"\nDeleted {len(removed)} objects; tree now holds {len(tree)}.")
+        db.delete(oid)
+    print(f"\nDeleted {len(removed)} objects; database now holds {len(db)}.")
 
 
 if __name__ == "__main__":

@@ -6,25 +6,42 @@ conservative functional boxes (CFBs) fitted by linear programming, the
 dynamic U-tree index, the U-PCR comparison structure, a sequential-scan
 baseline, and the full experimental harness of the paper's Section 6.
 
-Quickstart::
+Quickstart (the ``repro.api`` front door)::
 
     import numpy as np
     from repro import (
-        BallRegion, UniformDensity, UncertainObject, UTree,
-        ProbRangeQuery, Rect,
+        BallRegion, Database, RangeSpec, Rect, UncertainObject,
+        UniformDensity,
     )
 
-    tree = UTree(dim=2)
-    for i in range(100):
-        centre = np.random.default_rng(i).uniform(0, 10000, 2)
-        obj = UncertainObject(i, UniformDensity(BallRegion(centre, 250.0)))
-        tree.insert(obj)
+    objects = [
+        UncertainObject(
+            i,
+            UniformDensity(
+                BallRegion(np.random.default_rng(i).uniform(0, 10000, 2), 250.0)
+            ),
+        )
+        for i in range(100)
+    ]
+    db = Database.create(objects)
+    result = db.query(RangeSpec(Rect([2000, 2000], [4000, 4000]), threshold=0.8))
+    print(result.object_ids, result.stats.summary())
 
-    query = ProbRangeQuery(Rect([2000, 2000], [4000, 4000]), threshold=0.8)
-    answer = tree.query(query)
-    print(answer.object_ids, answer.stats.node_accesses)
+The structures, executors and storage primitives underneath remain
+importable for research-grade wiring (catalog ablations, custom cost
+models); ``Database``/``ExecConfig`` is the supported client surface.
 """
 
+from repro.api import (
+    Database,
+    ExecConfig,
+    Explanation,
+    NearestSpec,
+    QuerySpec,
+    RangeSpec,
+    Result,
+    RunResult,
+)
 from repro.core.catalog import UCatalog
 from repro.core.costmodel import CostEstimate, UTreeCostModel
 from repro.core.cfb import LinearBoxFunction, fit_cfbs, fit_inner_cfb, fit_outer_cfb
@@ -93,8 +110,11 @@ __all__ = [
     "ConstrainedGaussianDensity",
     "CostEstimate",
     "DataFile",
+    "Database",
     "Density",
     "DiskAddress",
+    "ExecConfig",
+    "Explanation",
     "FilterResult",
     "HistogramDensity",
     "IOCounter",
@@ -102,6 +122,7 @@ __all__ = [
     "MixtureDensity",
     "NNCandidate",
     "NNResult",
+    "NearestSpec",
     "ObjectSamples",
     "PCRRules",
     "PCRSet",
@@ -111,9 +132,13 @@ __all__ = [
     "ProbRangeQuery",
     "QueryAnswer",
     "QueryExecutor",
+    "QuerySpec",
     "QueryStats",
     "RStarTree",
+    "RangeSpec",
     "RefinementEngine",
+    "Result",
+    "RunResult",
     "ScanCostModel",
     "RadialExponentialDensity",
     "Rect",

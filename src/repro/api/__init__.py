@@ -1,0 +1,32 @@
+"""``repro.api`` — the one front door over the engine.
+
+Five lines from objects to answers::
+
+    from repro.api import Database, ExecConfig, RangeSpec
+    db = Database.create(objects, ExecConfig(shards=4, parallelism=4))
+    result = db.query(RangeSpec(Rect([0, 0], [1000, 1000]), threshold=0.8))
+    print(result.object_ids, result.stats.summary())
+    print(db.explain(RangeSpec(Rect([0, 0], [1000, 1000]), 0.8)))
+
+Everything the four execution subsystems expose — filter kernel, shard
+router, batched executor, refinement engine, buffer pool, planner — is
+configured through one validated :class:`ExecConfig` (env overrides
+resolve once in :meth:`ExecConfig.from_env`;
+:meth:`ExecConfig.paper_exact` pins the paper's accounting), and every
+query is a declarative spec routed through the planner.
+"""
+
+from repro.api.config import ExecConfig
+from repro.api.database import Database, Explanation, RunResult
+from repro.api.specs import NearestSpec, QuerySpec, RangeSpec, Result
+
+__all__ = [
+    "Database",
+    "ExecConfig",
+    "Explanation",
+    "NearestSpec",
+    "QuerySpec",
+    "RangeSpec",
+    "Result",
+    "RunResult",
+]

@@ -1,0 +1,205 @@
+"""``ExecConfig`` — every execution knob of the engine in one dataclass.
+
+PRs 1-4 grew four subsystems (executor, refinement engine, shard router,
+filter kernel), each with its own constructor knobs and environment
+overrides.  ``ExecConfig`` is the single place they all resolve:
+
+* construction: ``page_size``, ``pool_capacity`` (0 = the paper's
+  uncached accounting), ``mc_samples``/``seed`` (the shared Monte-Carlo
+  estimator), ``filter_kernel``, ``shards``/``partitioner``/``prune``;
+* execution: ``batched``, ``parallelism``, ``memoize``,
+  ``dedupe_pages``, ``io_latency_seconds``, ``auto_observe`` (planner
+  calibration);
+* environment: :meth:`ExecConfig.from_env` reads every recognised
+  ``REPRO_*`` variable exactly once (through :mod:`repro.env`) and warns
+  about unrecognised ones.
+
+The config is frozen: derive variants with :meth:`with_options` (a typed
+:func:`dataclasses.replace`).  :meth:`paper_exact` is the preset that
+pins the paper's accounting — capacity-0 buffer pool, scalar filter
+rules, one shard, strictly serial per-query execution — which the
+equivalence tests hold against the seed counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro import env as repro_env
+from repro.core.filterkernel import FILTER_KERNEL_ENV, resolve_filter_kernel
+from repro.uncertainty.montecarlo import AppearanceEstimator
+
+__all__ = ["ExecConfig"]
+
+_PARTITIONER_NAMES = ("str", "hash")
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """The engine's execution configuration (validated, immutable).
+
+    Attributes:
+        filter_kernel: ``"on"``/``"off"`` (or a bool) for the vectorized
+            leaf-classification kernel; ``None`` defers to the
+            ``REPRO_FILTER_KERNEL`` environment default at build time.
+        shards: child structures per access method (1 = monolithic).
+        partitioner: ``"str"`` (spatial tiling) or ``"hash"``.
+        prune: let the shard router skip provably disjoint shards.
+        batched: run workloads through the cross-query
+            :class:`~repro.exec.batch.BatchExecutor`; ``False`` executes
+            query-at-a-time through the plain executor (the paper's
+            accounting).
+        parallelism: executor worker threads (1 = exact serial path).
+        memoize: share ``(address, rect)`` P_app results across queries.
+        dedupe_pages: fetch each candidate data page once per batch.
+        io_latency_seconds: simulated per-page latency for the parallel
+            fetch thread.
+        pool_capacity: buffer-pool frames (0 = paper-exact uncached I/O).
+        page_size: simulated page size in bytes.
+        mc_samples: Monte-Carlo samples per P_app evaluation.
+        seed: base RNG seed; per-object streams derive from
+            ``(seed, oid)``, so equal configs give bit-identical answers.
+        auto_observe: let the planner recalibrate its packing constant
+            from executed workloads.
+        full_scale: run experiments at the paper's full parameters
+            (the ``REPRO_FULL_SCALE`` switch).
+    """
+
+    filter_kernel: str | bool | None = None
+    shards: int = 1
+    partitioner: str = "str"
+    prune: bool = True
+    batched: bool = True
+    parallelism: int = 1
+    memoize: bool = True
+    dedupe_pages: bool = True
+    io_latency_seconds: float = 0.0
+    pool_capacity: int = 0
+    page_size: int = 4096
+    mc_samples: int = 10_000
+    seed: int = 0
+    auto_observe: bool = True
+    full_scale: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.partitioner not in _PARTITIONER_NAMES:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"pick one of {_PARTITIONER_NAMES}"
+            )
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if not self.batched and self.parallelism != 1:
+            raise ValueError(
+                "parallelism > 1 requires batched=True (the per-query "
+                "executor is strictly serial)"
+            )
+        if self.io_latency_seconds < 0:
+            raise ValueError("io_latency_seconds must be non-negative")
+        if self.pool_capacity < 0:
+            raise ValueError("pool_capacity must be non-negative")
+        if self.page_size < 256:
+            raise ValueError("page_size must be at least 256 bytes")
+        if self.mc_samples < 1:
+            raise ValueError("mc_samples must be at least 1")
+        # Normalise/validate the kernel setting eagerly so a typo fails
+        # at config time, not at the first build.
+        if self.filter_kernel is not None:
+            resolve_filter_kernel(self.filter_kernel)
+
+    # ------------------------------------------------------------------
+    # presets and variants
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, **overrides) -> "ExecConfig":
+        """Resolve the configuration from the environment, once.
+
+        Reads every recognised ``REPRO_*`` key through :mod:`repro.env`
+        (the package's only ``os.environ`` accessor), warns about
+        unrecognised ``REPRO_*`` keys, and applies ``overrides`` on top
+        of the environment-derived fields.
+        """
+        repro_env.warn_unknown_keys()
+        fields: dict = {}
+        kernel = repro_env.env_value(FILTER_KERNEL_ENV)
+        if kernel is not None:
+            fields["filter_kernel"] = kernel
+        fields["parallelism"] = repro_env.env_int("REPRO_SHARD_PARALLELISM", 1)
+        fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
+        fields.update(overrides)
+        return cls(**fields)
+
+    @classmethod
+    def paper_exact(cls) -> "ExecConfig":
+        """The frozen paper-accounting preset.
+
+        Capacity-0 buffer pool, scalar filter rules, one shard, strictly
+        serial query-at-a-time execution with no cross-query memoisation
+        — node accesses, data-page reads and P_app computation counts
+        reproduce the seed implementation exactly.
+        """
+        return cls(
+            filter_kernel="off",
+            shards=1,
+            batched=False,
+            parallelism=1,
+            memoize=False,
+            dedupe_pages=False,
+            pool_capacity=0,
+            auto_observe=False,
+        )
+
+    def with_options(self, **changes) -> "ExecConfig":
+        """A modified copy (the frozen dataclass's update surface)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # derived wiring
+    # ------------------------------------------------------------------
+    @property
+    def kernel_enabled(self) -> bool:
+        """The kernel knob resolved to a bool (env-deferred when unset)."""
+        return resolve_filter_kernel(self.filter_kernel)
+
+    @property
+    def sharded(self) -> bool:
+        return self.shards > 1
+
+    def estimator(self) -> AppearanceEstimator:
+        """A fresh Monte-Carlo estimator under this config's sampling."""
+        return AppearanceEstimator(n_samples=self.mc_samples, seed=self.seed)
+
+    def refinement_engine(self, *, cache_capacity: int = 4096):
+        """A fresh refinement engine under this config's sampling."""
+        from repro.exec.refine import RefinementEngine
+
+        return RefinementEngine(
+            n_samples=self.mc_samples, seed=self.seed, cache_capacity=cache_capacity
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """A JSON document reconstructing this config (for archives)."""
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, doc: str) -> "ExecConfig":
+        fields = json.loads(doc)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in fields.items() if k in known})
+
+    def summary(self) -> str:
+        """One human line: only the fields that differ from the defaults."""
+        default = ExecConfig()
+        diffs = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        ]
+        return f"ExecConfig({', '.join(diffs) if diffs else 'defaults'})"

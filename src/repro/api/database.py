@@ -1,0 +1,806 @@
+"""The ``Database`` facade: one front door over the whole engine.
+
+PRs 1-4 left four separately-wired subsystems (shared executor, batched
+executor, refinement engine, shard router, filter kernel).  ``Database``
+owns them all behind one object:
+
+* :meth:`Database.create` builds the access method(s) — monolithic or
+  sharded — the shared Monte-Carlo estimator, the buffer pool and the
+  cost-model planner from a single
+  :class:`~repro.api.config.ExecConfig`;
+* :meth:`Database.run` answers batches of declarative specs
+  (:class:`~repro.api.specs.RangeSpec`,
+  :class:`~repro.api.specs.NearestSpec`), routed through the planner
+  when several methods are registered, returning typed
+  :class:`~repro.api.specs.Result` objects with per-phase stats;
+* :meth:`Database.explain` surfaces the planner's cost comparison and
+  the chosen path — method, shard probe order, kernel on/off — without
+  executing anything;
+* :meth:`Database.save` / :meth:`Database.open` persist the whole thing.
+
+Everything underneath is the existing execution layer; the facade adds
+no third code path, so its answers are bit-identical to hand-wired
+``QueryExecutor``/``BatchExecutor`` runs (``tests/test_api.py`` pins the
+full knob matrix).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.config import ExecConfig
+from repro.api.specs import NearestSpec, QuerySpec, RangeSpec, Result
+from repro.core.nn import expected_nearest_neighbors, probabilistic_nearest_neighbors
+from repro.core.query import ProbRangeQuery
+from repro.core.stats import QueryStats, WorkloadStats
+from repro.exec.access import AccessMethod
+from repro.exec.batch import BatchExecutor, BatchStats
+from repro.exec.executor import QueryExecutor
+from repro.exec.planner import Planner, ScanCostModel, derive_data_records_per_page
+from repro.exec.shard import ShardedAccessMethod
+from repro.storage.bufferpool import BufferPool
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["Database", "Explanation", "RunResult"]
+
+_METHOD_NAMES = ("utree", "upcr", "scan")
+
+# Archive keys the save/open pair speaks (npz entries).
+_META_KEY = "database_meta"
+_FORMAT_OBJECTS = "repro-database-objects-v1"
+_FORMAT_UTREE = "repro-database-utree-v1"
+
+
+def _default_catalog(name: str, dim: int):
+    from repro.core.catalog import UCatalog
+
+    if name == "upcr":
+        return UCatalog.paper_upcr_default(dim)
+    return UCatalog.paper_utree_default()
+
+
+def _resolve_catalog(catalog, name: str, dim: int):
+    """One method's catalog from a single override, a per-method map, or None."""
+    if catalog is None:
+        return _default_catalog(name, dim)
+    if isinstance(catalog, dict):
+        chosen = catalog.get(name)
+        return chosen if chosen is not None else _default_catalog(name, dim)
+    return catalog
+
+
+def _method_catalog(method):
+    """The catalog a (possibly sharded) structure classifies with."""
+    if isinstance(method, ShardedAccessMethod):
+        return method.shards[0].catalog
+    return method.catalog
+
+
+def _build_monolithic(name, dim, catalog, config, estimator, pool):
+    if name == "utree":
+        from repro.core.utree import UTree
+
+        return UTree(
+            dim, catalog, page_size=config.page_size, pool=pool,
+            estimator=estimator, filter_kernel=config.filter_kernel,
+        )
+    if name == "upcr":
+        from repro.core.upcr import UPCRTree
+
+        return UPCRTree(
+            dim, catalog, page_size=config.page_size, pool=pool,
+            estimator=estimator, filter_kernel=config.filter_kernel,
+        )
+    if name == "scan":
+        from repro.core.scan import SequentialScan
+
+        return SequentialScan(
+            dim, catalog, page_size=config.page_size, pool=pool,
+            estimator=estimator, filter_kernel=config.filter_kernel,
+        )
+    raise ValueError(f"unknown method {name!r}; pick from {_METHOD_NAMES}")
+
+
+def _kernel_enabled(method) -> bool:
+    """Whether the (possibly sharded) method classifies via the kernel."""
+    if isinstance(method, ShardedAccessMethod):
+        return any(getattr(s, "kernel", None) is not None for s in method.shards)
+    return getattr(method, "kernel", None) is not None
+
+
+def _live_records(method):
+    """The authoritative leaf records of a structure (post-update truth)."""
+    if isinstance(method, ShardedAccessMethod):
+        for child in method.shards:
+            yield from _live_records(child)
+    elif hasattr(method, "engine"):  # UTree / UPCRTree
+        for entry in method.engine.leaf_entries():
+            yield entry.data
+    elif hasattr(method, "records"):  # SequentialScan
+        yield from method.records()
+    else:  # pragma: no cover - protocol violation
+        raise TypeError(f"cannot enumerate records of {type(method).__name__}")
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The planner's verdict for one spec, produced without executing.
+
+    ``estimates`` maps every registered method to its predicted total
+    I/O; ``choice`` is the cheapest (or the caller's pin).  For a
+    sharded choice, ``shard_probes`` is the router's probe order
+    (cheapest first) and ``shards_pruned`` how many shards it proved
+    disjoint.  ``filter_kernel``/``parallelism``/``batched`` describe
+    the execution mode the spec would run under.
+    """
+
+    spec: QuerySpec
+    choice: str
+    estimates: dict[str, float]
+    shards: int
+    shard_probes: tuple[int, ...]
+    shards_pruned: int
+    filter_kernel: bool
+    batched: bool
+    parallelism: int
+    data_records_per_page: float
+
+    def summary(self) -> str:
+        lines = [f"{type(self.spec).__name__} -> {self.choice!r}"]
+        priced = "  ".join(
+            f"{name}={cost:.1f}" + (" *" if name == self.choice else "")
+            for name, cost in sorted(self.estimates.items(), key=lambda kv: kv[1])
+        )
+        lines.append(f"  estimated I/O: {priced}")
+        if self.shards > 1:
+            lines.append(
+                f"  shards: probe {list(self.shard_probes)} of {self.shards} "
+                f"({self.shards_pruned} pruned)"
+            )
+        mode = (
+            f"batched, parallelism={self.parallelism}" if self.batched
+            else "per-query serial"
+        )
+        lines.append(
+            f"  filter kernel: {'on' if self.filter_kernel else 'off'} | {mode} | "
+            f"calibration: {self.data_records_per_page:.2f} records/page"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+@dataclass
+class RunResult:
+    """Answers for one ``db.run`` batch, in submission order."""
+
+    results: list[Result] = field(default_factory=list)
+    workload: WorkloadStats = field(default_factory=WorkloadStats)
+    # One batch-level cost summary per access method that executed range
+    # specs through the batched executor (empty under batched=False).
+    batches: dict[str, BatchStats] = field(default_factory=dict)
+
+    @property
+    def batch(self) -> BatchStats | None:
+        """The single batch summary, when exactly one method executed."""
+        if len(self.batches) == 1:
+            return next(iter(self.batches.values()))
+        return None
+
+    def answers(self) -> list[list[int]]:
+        return [r.object_ids for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> Result:
+        return self.results[index]
+
+    def __repr__(self) -> str:
+        methods = sorted({r.method for r in self.results})
+        return (
+            f"RunResult({len(self.results)} specs via {methods}, "
+            f"avg logical I/O {self.workload.avg_total_io:.1f})"
+        )
+
+    def summary(self) -> str:
+        """The batch in one aligned table (plus per-method batch stats)."""
+        from repro.core.stats import format_aligned
+
+        rows = []
+        for i, result in enumerate(self.results):
+            s = result.stats
+            rows.append([
+                i,
+                type(result.spec).__name__.replace("Spec", "").lower(),
+                result.method,
+                len(result.object_ids),
+                s.node_accesses,
+                s.data_page_reads,
+                s.prob_computations,
+                s.validated_directly,
+                f"{1000 * s.wall_seconds:.2f}",
+            ])
+        table = format_aligned(
+            ["#", "spec", "method", "results", "nodes", "pages", "P_app",
+             "validated", "ms"],
+            rows,
+        )
+        parts = [table]
+        for name, batch in self.batches.items():
+            parts.append(f"[{name}] {batch!r}")
+        return "\n".join(parts)
+
+
+class Database:
+    """One handle over built access methods, planner and executors.
+
+    Construct with :meth:`create` (from objects), :meth:`from_methods`
+    (around structures you built yourself) or :meth:`open` (from a
+    saved archive).  All query traffic goes through :meth:`run` /
+    :meth:`query` / :meth:`nearest`; :meth:`explain` previews the plan.
+    """
+
+    def __init__(
+        self,
+        methods: dict[str, AccessMethod],
+        config: ExecConfig,
+        *,
+        planner: Planner | None = None,
+    ):
+        if not methods:
+            raise ValueError("at least one access method is required")
+        self._methods = dict(methods)
+        self.config = config
+        self.planner = planner if planner is not None else self._build_planner()
+        self._batch_executors: dict[str, BatchExecutor] = {}
+        self._query_executors: dict[str, QueryExecutor] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        objects: Iterable[UncertainObject],
+        config: ExecConfig | None = None,
+        *,
+        methods: Sequence[str] = ("utree",),
+        catalog=None,
+        dim: int | None = None,
+    ) -> "Database":
+        """Build access methods over ``objects`` under one config.
+
+        ``methods`` names the structures to build (any subset of
+        ``utree``/``upcr``/``scan``); all share one Monte-Carlo
+        estimator, so their answers are bit-identical.  With
+        ``config.shards > 1`` each method is a
+        :class:`~repro.exec.shard.ShardedAccessMethod` over that many
+        children.  ``catalog`` overrides the default paper catalogs —
+        one ``UCatalog`` for every method, or a ``{method: UCatalog}``
+        map for per-method overrides (how :meth:`open` restores saved
+        catalogs).  ``dim`` is required only for an empty object list.
+        """
+        config = config if config is not None else ExecConfig()
+        objects = list(objects)
+        if dim is None:
+            if not objects:
+                raise ValueError(
+                    "cannot infer dimensionality from an empty object list; pass dim="
+                )
+            dim = objects[0].dim
+        if not methods:
+            raise ValueError("at least one method name is required")
+        estimator = config.estimator()
+        built: dict[str, AccessMethod] = {}
+        for name in methods:
+            if name in built:
+                raise ValueError(f"method {name!r} requested twice")
+            cat = _resolve_catalog(catalog, name, dim)
+            if config.sharded:
+                built[name] = ShardedAccessMethod.build(
+                    objects,
+                    shards=config.shards,
+                    partitioner=config.partitioner,
+                    method=name,
+                    dim=dim,
+                    catalog=cat,
+                    page_size=config.page_size,
+                    estimator=estimator,
+                    pool_capacity=config.pool_capacity,
+                    prune=config.prune,
+                    filter_kernel=config.filter_kernel,
+                )
+            else:
+                pool = BufferPool(config.pool_capacity) if config.pool_capacity else None
+                method = _build_monolithic(name, dim, cat, config, estimator, pool)
+                for obj in objects:
+                    method.insert(obj)
+                built[name] = method
+        return cls(built, config)
+
+    @classmethod
+    def from_methods(
+        cls,
+        methods: dict[str, AccessMethod],
+        config: ExecConfig | None = None,
+    ) -> "Database":
+        """Wrap structures you built (or memoised) yourself."""
+        return cls(dict(methods), config if config is not None else ExecConfig())
+
+    # ------------------------------------------------------------------
+    # planner wiring
+    # ------------------------------------------------------------------
+    def _build_planner(self) -> Planner:
+        first = next(iter(self._methods.values()))
+        planner = Planner(
+            derive_data_records_per_page(first),
+            auto_observe=self.config.auto_observe,
+        )
+        for name, method in self._methods.items():
+            planner.register(name, method, self._cost_fn(name, method, planner))
+        return planner
+
+    def _cost_fn(self, name: str, method, planner: Planner):
+        from repro.core.costmodel import UTreeCostModel
+
+        if isinstance(method, ShardedAccessMethod):
+            # Price a sharded method as the sum of its surviving shards'
+            # estimates (the same models the router orders probes with) —
+            # without mutating the router's decision counters.
+            def sharded_cost(query: ProbRangeQuery, _m=method) -> float:
+                if _m.prune:
+                    live = [
+                        i for i, box in enumerate(_m.shard_bounds)
+                        if box is not None and box.intersects(query.rect)
+                    ]
+                else:
+                    live = [
+                        i for i, box in enumerate(_m.shard_bounds)
+                        if box is not None
+                    ]
+                return sum(_m.router.price(i, query) for i in live)
+
+            return sharded_cost
+
+        # The cost model snapshots the structure's geometry, so build it
+        # lazily on the first priced query: a method that is empty at
+        # registration time (the create-then-insert pattern) prices as
+        # infinite only while it stays empty, then gets a real model.
+        # After heavy updates, refresh_planner() re-derives snapshots.
+        state: dict = {"model": None}
+
+        def cost(query: ProbRangeQuery, _m=method, _p=planner, _s=state) -> float:
+            if len(_m) == 0:
+                return float("inf")
+            if _s["model"] is None:
+                if hasattr(_m, "scan_pages"):
+                    _s["model"] = ("scan", ScanCostModel(_m))
+                else:
+                    _s["model"] = ("tree", UTreeCostModel(_m))
+            kind, model = _s["model"]
+            if kind == "scan":
+                return model.total_io(query, _p.data_records_per_page)
+            return model.estimate(query).total_io(_p.data_records_per_page)
+
+        return cost
+
+    def refresh_planner(self) -> None:
+        """Re-derive every cost model after heavy update traffic."""
+        calibrated = self.planner.data_records_per_page
+        self.planner = self._build_planner()
+        self.planner.data_records_per_page = calibrated
+        for method in self._methods.values():
+            if isinstance(method, ShardedAccessMethod):
+                method.refresh_router()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def method_names(self) -> list[str]:
+        return list(self._methods)
+
+    @property
+    def dim(self) -> int:
+        return next(iter(self._methods.values())).dim
+
+    def access_method(self, name: str | None = None) -> AccessMethod:
+        """The underlying structure (the only one, or by name)."""
+        if name is None:
+            if len(self._methods) != 1:
+                raise ValueError(
+                    f"database holds {self.method_names}; pass a method name"
+                )
+            return next(iter(self._methods.values()))
+        return self._methods[name]
+
+    def __len__(self) -> int:
+        return len(next(iter(self._methods.values())))
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(methods={self.method_names}, objects={len(self)}, "
+            f"shards={self.config.shards}, "
+            f"kernel={'on' if self.config.kernel_enabled else 'off'}, "
+            f"parallelism={self.config.parallelism})"
+        )
+
+    def summary(self) -> str:
+        lines = [repr(self), f"  {self.config.summary()}"]
+        for name, method in self._methods.items():
+            size = getattr(method, "size_bytes", None)
+            size_text = f", {size / 1024:.0f} KiB" if size is not None else ""
+            lines.append(f"  {name}: {len(method)} objects{size_text}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, obj: UncertainObject):
+        """Insert into every method; returns the (single) update cost.
+
+        With several registered methods a dict of per-method costs is
+        returned instead.
+        """
+        costs = {name: m.insert(obj) for name, m in self._methods.items()}
+        if len(costs) == 1:
+            return next(iter(costs.values()))
+        return costs
+
+    def delete(self, oid: int):
+        """Delete from every method; single outcome or per-method dict."""
+        outcomes = {name: m.delete(oid) for name, m in self._methods.items()}
+        if len(outcomes) == 1:
+            return next(iter(outcomes.values()))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def _pick_nn_method(self, pinned: str | None) -> str:
+        from repro.core.utree import UTree
+
+        def nn_capable(method) -> bool:
+            if isinstance(method, ShardedAccessMethod):
+                return all(isinstance(s, UTree) for s in method.shards)
+            return isinstance(method, UTree)
+
+        if pinned is not None:
+            if pinned not in self._methods:
+                raise KeyError(
+                    f"method {pinned!r} is not registered (have {self.method_names})"
+                )
+            if not nn_capable(self._methods[pinned]):
+                raise ValueError(
+                    f"method {pinned!r} cannot answer nearest-neighbour specs "
+                    "(the branch-and-bound walk needs a U-tree)"
+                )
+            return pinned
+        for name, method in self._methods.items():
+            if nn_capable(method):
+                return name
+        raise ValueError(
+            f"no NN-capable method registered (have {self.method_names}); "
+            "nearest-neighbour search needs a U-tree"
+        )
+
+    def _choose(self, spec: QuerySpec, pinned: str | None) -> str:
+        if isinstance(spec, NearestSpec):
+            return self._pick_nn_method(pinned)
+        if pinned is not None:
+            if pinned not in self._methods:
+                raise KeyError(
+                    f"method {pinned!r} is not registered (have {self.method_names})"
+                )
+            return pinned
+        if len(self._methods) == 1:
+            return next(iter(self._methods))
+        return self.planner.plan(spec.to_query()).choice
+
+    def _batch_executor(self, name: str) -> BatchExecutor:
+        if name not in self._batch_executors:
+            self._batch_executors[name] = BatchExecutor(
+                self._methods[name],
+                memoize=self.config.memoize,
+                dedupe_pages=self.config.dedupe_pages,
+                parallelism=self.config.parallelism,
+                io_latency_seconds=self.config.io_latency_seconds,
+            )
+        return self._batch_executors[name]
+
+    def _query_executor(self, name: str) -> QueryExecutor:
+        if name not in self._query_executors:
+            self._query_executors[name] = QueryExecutor(self._methods[name])
+        return self._query_executors[name]
+
+    def clear_memos(self) -> None:
+        """Drop every batched executor's cross-query P_app memo.
+
+        The memos persist across :meth:`run` calls by design (the fig-10
+        access pattern); callers that need run-to-run reproducible *cost
+        counters* — repeated experiment sweeps — reset here.  Answers are
+        never affected either way.
+        """
+        for executor in self._batch_executors.values():
+            executor.clear_memo()
+
+    def _run_nearest(self, spec: NearestSpec, name: str) -> Result:
+        method = self._methods[name]
+        point = np.asarray(spec.point, dtype=float)
+        if spec.mode == "expected":
+            nn = expected_nearest_neighbors(
+                method, point, k=spec.k, rounds=spec.rounds, seed=spec.seed
+            )
+            ranked = nn.candidates
+        else:
+            nn = probabilistic_nearest_neighbors(
+                method, point, rounds=spec.rounds, seed=spec.seed
+            )
+            ranked = nn.candidates[: spec.k]
+        stats = QueryStats(
+            node_accesses=nn.node_accesses,
+            data_page_reads=nn.data_page_reads,
+            prob_computations=nn.objects_examined,
+            result_count=len(ranked),
+            wall_seconds=nn.wall_seconds,
+        )
+        return Result(
+            spec=spec,
+            method=name,
+            object_ids=[c.oid for c in ranked],
+            stats=stats,
+            nn=nn,
+        )
+
+    def run(
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        method: str | None = None,
+    ) -> RunResult:
+        """Answer a batch of specs (submission order preserved).
+
+        Range specs execute through the batched executor (cross-query
+        page dedup + P_app memoisation; the serial/parallel mode and all
+        reuse knobs come from the config) or, under ``batched=False``,
+        query-at-a-time through the shared executor — the paper's exact
+        accounting.  Nearest specs run the branch-and-bound NN walk.
+        With several registered methods and no ``method`` pin, the
+        planner prices every range spec and routes it to the cheapest
+        structure.
+        """
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, (RangeSpec, NearestSpec)):
+                raise TypeError(
+                    f"specs must be RangeSpec or NearestSpec, got {type(spec).__name__}"
+                )
+        choices = [self._choose(spec, method) for spec in specs]
+        out = RunResult()
+        slots: list[Result | None] = [None] * len(specs)
+
+        # Group range specs per chosen method, preserving submission
+        # order within each group (a single-method batch is then exactly
+        # one legacy BatchExecutor.run call).
+        grouped: dict[str, list[int]] = {}
+        for i, (spec, choice) in enumerate(zip(specs, choices)):
+            if isinstance(spec, RangeSpec):
+                grouped.setdefault(choice, []).append(i)
+            else:
+                slots[i] = self._run_nearest(spec, choices[i])
+
+        for name, indices in grouped.items():
+            queries = [specs[i].to_query() for i in indices]
+            if self.config.batched:
+                batch = self._batch_executor(name).run(queries)
+                answers = batch.answers
+                if name in out.batches:  # pragma: no cover - defensive
+                    raise RuntimeError(f"duplicate batch for method {name!r}")
+                out.batches[name] = batch.batch
+            else:
+                executor = self._query_executor(name)
+                answers = [executor.execute(query) for query in queries]
+            for i, answer in zip(indices, answers):
+                slots[i] = Result(
+                    spec=specs[i],
+                    method=name,
+                    object_ids=answer.object_ids,
+                    stats=answer.stats,
+                )
+
+        out.results = [slot for slot in slots if slot is not None]
+        for result in out.results:
+            out.workload.add(result.stats)
+        if self.config.auto_observe and grouped:
+            # Calibrate from range-spec stats only: NN results carry
+            # walk counters with different semantics (objects_examined
+            # in prob_computations) that would skew the packing EWMA.
+            range_stats = WorkloadStats()
+            for result in out.results:
+                if isinstance(result.spec, RangeSpec):
+                    range_stats.add(result.stats)
+            self.planner.observe(range_stats)
+        return out
+
+    def query(self, spec: QuerySpec, *, method: str | None = None) -> Result:
+        """Answer one spec (the single-query convenience form)."""
+        return self.run([spec], method=method).results[0]
+
+    def nearest(self, spec: NearestSpec) -> Result:
+        """Answer one nearest-neighbour spec."""
+        if not isinstance(spec, NearestSpec):
+            raise TypeError(f"nearest() takes a NearestSpec, got {type(spec).__name__}")
+        return self._run_nearest(spec, self._pick_nn_method(None))
+
+    # ------------------------------------------------------------------
+    # explain
+    # ------------------------------------------------------------------
+    def explain(self, spec: QuerySpec, *, method: str | None = None) -> Explanation:
+        """The planner's cost comparison and chosen path, no execution.
+
+        Prices the spec under every registered method's cost model,
+        reports the winner (or the pinned ``method``) and — for a
+        sharded choice — the router's probe order and prune count.
+        """
+        if not isinstance(spec, RangeSpec):
+            raise TypeError(
+                "explain() prices range specs; nearest-neighbour search has "
+                "no cost model yet"
+            )
+        query = spec.to_query()
+        decision = self.planner.plan(query)
+        choice = decision.choice if method is None else method
+        if choice not in self._methods:
+            raise KeyError(
+                f"method {choice!r} is not registered (have {self.method_names})"
+            )
+        chosen = self._methods[choice]
+        if isinstance(chosen, ShardedAccessMethod):
+            probes = tuple(chosen.route(query))
+            shards = chosen.shard_count
+            pruned = shards - len(probes)
+        else:
+            probes = ()
+            shards = 1
+            pruned = 0
+        return Explanation(
+            spec=spec,
+            choice=choice,
+            estimates=dict(decision.estimates),
+            shards=shards,
+            shard_probes=probes,
+            shards_pruned=pruned,
+            filter_kernel=_kernel_enabled(chosen),
+            batched=self.config.batched,
+            parallelism=self.config.parallelism,
+            data_records_per_page=self.planner.data_records_per_page,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _meta(self, archive_format: str) -> str:
+        return json.dumps(
+            {
+                "format": archive_format,
+                "config": json.loads(self.config.to_json()),
+                "methods": self.method_names,
+                "catalogs": {
+                    name: np.asarray(_method_catalog(m).values).tolist()
+                    for name, m in self._methods.items()
+                },
+            },
+            sort_keys=True,
+        )
+
+    def save(self, path) -> None:
+        """Persist the database to one ``.npz`` archive.
+
+        A monolithic single-U-tree database uses the fitted-summary
+        archive of :func:`repro.storage.serialize.save_utree` (no CFB
+        re-fitting on open).  Every other shape — sharded methods, U-PCR,
+        scans, multi-method databases — stores the object set (ids + pdf
+        descriptors) plus the config, and :meth:`open` rebuilds the
+        structures deterministically; answers round-trip bit-identically
+        (P_app streams derive from ``(seed, oid)``), while I/O accounting
+        may differ from the pre-save instance when the original insert
+        order did (the same caveat as ``load_utree``).
+
+        Only the built-in pdf families round-trip; custom densities raise
+        :class:`~repro.storage.serialize.SerializationError` — tabulate
+        them first.
+        """
+        from repro.storage.serialize import density_descriptor, save_utree
+
+        if self.method_names == ["utree"] and not isinstance(
+            self._methods["utree"], ShardedAccessMethod
+        ):
+            save_utree(
+                self._methods["utree"],
+                path,
+                extra={_META_KEY: self._meta(_FORMAT_UTREE)},
+            )
+            return
+
+        first = next(iter(self._methods.values()))
+        records = sorted(_live_records(first), key=lambda r: r.oid)
+        seen: set[int] = set()
+        oids: list[int] = []
+        descriptors: list[str] = []
+        data_file = first.data_file
+        for record in records:
+            if record.oid in seen:  # sharded children never overlap, but be safe
+                continue
+            seen.add(record.oid)
+            obj = data_file.peek(record.address)
+            oids.append(record.oid)
+            descriptors.append(json.dumps(density_descriptor(obj.pdf)))
+        np.savez_compressed(
+            path,
+            **{_META_KEY: self._meta(_FORMAT_OBJECTS)},
+            dim=np.int64(self.dim),
+            oids=np.array(oids, dtype=np.int64),
+            descriptors=np.array(descriptors, dtype=object),
+        )
+
+    @classmethod
+    def open(cls, path, config: ExecConfig | None = None) -> "Database":
+        """Reconstruct a database saved with :meth:`save`.
+
+        ``config`` overrides the archived execution config (the archive's
+        is used when omitted).  Plain ``save_utree`` archives open too,
+        as a single-U-tree database under default config.
+        """
+        from repro.core.catalog import UCatalog
+        from repro.storage.serialize import density_from_descriptor, load_utree
+
+        with np.load(path, allow_pickle=True) as archive:
+            meta = None
+            if _META_KEY in archive:
+                meta = json.loads(str(archive[_META_KEY]))
+            if meta is not None and meta.get("format") == _FORMAT_OBJECTS:
+                if config is None:
+                    config = ExecConfig.from_json(json.dumps(meta["config"]))
+                dim = int(archive["dim"])
+                catalogs = {
+                    name: UCatalog(np.asarray(values))
+                    for name, values in meta.get("catalogs", {}).items()
+                }
+                objects = [
+                    UncertainObject(
+                        int(oid), density_from_descriptor(json.loads(doc))
+                    )
+                    for oid, doc in zip(archive["oids"], archive["descriptors"])
+                ]
+                return cls.create(
+                    objects,
+                    config,
+                    methods=tuple(meta["methods"]),
+                    catalog=catalogs or None,
+                    dim=dim,
+                )
+
+        # A fitted U-tree archive (facade-saved with _FORMAT_UTREE, or a
+        # plain save_utree file): load_utree restores the fitted CFBs and
+        # the archived catalog without re-fitting anything.
+        if config is None and meta is not None:
+            config = ExecConfig.from_json(json.dumps(meta["config"]))
+        if config is None:
+            config = ExecConfig()
+        pool = BufferPool(config.pool_capacity) if config.pool_capacity else None
+        tree = load_utree(
+            path,
+            estimator=config.estimator(),
+            filter_kernel=config.filter_kernel,
+            pool=pool,
+        )
+        return cls({"utree": tree}, config)

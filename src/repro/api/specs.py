@@ -1,0 +1,131 @@
+"""Declarative query specs and typed results for the ``Database`` facade.
+
+A spec says *what* to answer — a range rectangle with a probability
+threshold, or a nearest-neighbour point with ``k`` — and carries no
+wiring.  The facade turns specs into engine calls under its
+:class:`~repro.api.config.ExecConfig`, and hands back typed results that
+keep the per-phase statistics attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.nn import NNResult
+from repro.core.query import ProbRangeQuery
+from repro.core.stats import QueryStats
+from repro.geometry.rect import Rect
+
+__all__ = ["NearestSpec", "QuerySpec", "RangeSpec", "Result"]
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    """A prob-range query: objects in ``rect`` with P_app >= ``threshold``."""
+
+    rect: Rect
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rect, Rect):
+            raise TypeError(
+                f"rect must be a Rect (got {type(self.rect).__name__}); "
+                "use RangeSpec.box(lo, hi, threshold) for raw bounds"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+
+    @classmethod
+    def box(cls, lo, hi, threshold: float) -> "RangeSpec":
+        """A spec from raw lower/upper corner coordinates."""
+        return cls(Rect(lo, hi), threshold)
+
+    @property
+    def dim(self) -> int:
+        return self.rect.dim
+
+    def to_query(self) -> ProbRangeQuery:
+        """The engine-level query this spec declares."""
+        return ProbRangeQuery(self.rect, self.threshold)
+
+
+@dataclass(frozen=True)
+class NearestSpec:
+    """A probabilistic nearest-neighbour query at ``point``.
+
+    ``mode="probability"`` returns every candidate with its NN
+    qualification probability (Cheng et al., SIGMOD'03 semantics);
+    ``mode="expected"`` ranks by expected distance and keeps the best
+    ``k``.
+    """
+
+    point: tuple
+    k: int = 1
+    rounds: int = 2000
+    seed: int = 0
+    mode: str = "probability"
+
+    def __post_init__(self) -> None:
+        # Store the point hashably so specs stay frozen/comparable.
+        object.__setattr__(self, "point", tuple(float(x) for x in np.asarray(self.point).ravel()))
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.rounds < 1:
+            raise ValueError("rounds must be positive")
+        if self.mode not in ("probability", "expected"):
+            raise ValueError(
+                f"mode must be 'probability' or 'expected', got {self.mode!r}"
+            )
+
+    @property
+    def dim(self) -> int:
+        return len(self.point)
+
+
+# Anything the facade accepts as a query.
+QuerySpec = RangeSpec | NearestSpec
+
+
+@dataclass
+class Result:
+    """One spec's answer with its cost accounting attached.
+
+    For a :class:`RangeSpec`, ``object_ids`` holds the qualifying ids and
+    ``stats`` the per-phase :class:`~repro.core.stats.QueryStats`.  For a
+    :class:`NearestSpec`, ``nn`` additionally carries the full
+    :class:`~repro.core.nn.NNResult` (candidates with qualification
+    probabilities); ``object_ids`` lists the candidates in rank order and
+    ``stats`` mirrors the walk's I/O counts.
+    """
+
+    spec: QuerySpec
+    method: str
+    object_ids: list[int] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+    nn: NNResult | None = None
+    _id_set: set[int] | None = field(default=None, repr=False, compare=False)
+
+    def __contains__(self, oid: int) -> bool:
+        if self._id_set is None or len(self._id_set) != len(self.object_ids):
+            self._id_set = set(self.object_ids)
+        return oid in self._id_set
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+    def sorted_ids(self) -> list[int]:
+        return sorted(self.object_ids)
+
+    def __repr__(self) -> str:
+        kind = type(self.spec).__name__
+        return (
+            f"Result({kind} via {self.method!r}: {len(self.object_ids)} objects, "
+            f"{self.stats.total_io} logical I/O, "
+            f"{self.stats.prob_computations} P_app)"
+        )
+
+    def summary(self) -> str:
+        """One aligned line (the row :meth:`RunResult.summary` prints)."""
+        return self.stats.summary()

@@ -35,8 +35,6 @@ without invalidating other records' row handles.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.core.catalog import UCatalog
@@ -75,10 +73,13 @@ def resolve_filter_kernel(setting: str | bool | None = None) -> bool:
     ``None`` defers to the ``REPRO_FILTER_KERNEL`` environment variable
     (the CI matrix leg forces ``off`` there to pin the scalar path) and
     defaults to on — the kernel is verdict-identical, so there is no
-    correctness reason to opt in.
+    correctness reason to opt in.  The environment is read through
+    :mod:`repro.env`, the package's single ``os.environ`` access point.
     """
     if setting is None:
-        setting = os.environ.get(FILTER_KERNEL_ENV, "on")
+        from repro.env import env_value
+
+        setting = env_value(FILTER_KERNEL_ENV, "on")
     if isinstance(setting, bool):
         return setting
     text = str(setting).strip().lower()

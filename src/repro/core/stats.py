@@ -9,9 +9,38 @@ harness can print paper-style rows.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["QueryStats", "ShardStats", "WorkloadStats"]
+__all__ = ["QueryStats", "ShardStats", "WorkloadStats", "format_aligned"]
+
+
+def format_aligned(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """One fixed-width text table (shared by stats summaries and CLIs)."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
 
 
 @dataclass
@@ -70,6 +99,30 @@ class QueryStats:
             return 0.0
         return self.validated_directly / self.result_count
 
+    def __repr__(self) -> str:
+        return (
+            f"QueryStats(io={self.total_io}, nodes={self.node_accesses}, "
+            f"pages={self.data_page_reads}, P_app={self.prob_computations}, "
+            f"validated={self.validated_directly}, results={self.result_count}, "
+            f"wall={1000 * self.wall_seconds:.2f}ms)"
+        )
+
+    def summary(self) -> str:
+        """One human line: the paper's three cost views plus the phases."""
+        parts = [
+            f"{self.result_count} results",
+            f"{self.total_io} logical I/O ({self.node_accesses} nodes + "
+            f"{self.data_page_reads} data pages)",
+            f"{self.prob_computations} P_app ({self.validated_directly} validated free)",
+            f"{1000 * self.filter_seconds:.2f}/{1000 * self.fetch_seconds:.2f}/"
+            f"{1000 * self.refine_seconds:.2f} ms filter/fetch/refine",
+        ]
+        if self.shard_probes:
+            parts.append(
+                f"{self.shard_probes} shard probes ({self.shards_pruned} pruned)"
+            )
+        return " | ".join(parts)
+
 
 @dataclass
 class ShardStats:
@@ -93,6 +146,23 @@ class ShardStats:
     physical_reads: int = 0
     cache_hits: int = 0
     filter_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStats(#{self.shard}: {self.probes} probes, "
+            f"{self.node_accesses} nodes, {self.candidates} candidates, "
+            f"{self.validated} validated, {self.pruned} pruned, "
+            f"{self.physical_reads} reads/{self.cache_hits} hits)"
+        )
+
+    def row(self) -> list:
+        """This shard as one table row (see :meth:`BatchStats.summary`)."""
+        return [
+            self.shard, self.probes, self.routed_away, self.node_accesses,
+            self.validated, self.candidates, self.pruned,
+            self.physical_reads, self.cache_hits,
+            f"{1000 * self.filter_seconds:.2f}",
+        ]
 
 
 @dataclass

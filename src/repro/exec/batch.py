@@ -132,6 +132,52 @@ class BatchStats:
         total = self.sample_cache_hits + self.sample_cache_misses
         return self.sample_cache_hits / total if total else 0.0
 
+    def __repr__(self) -> str:
+        text = (
+            f"BatchStats({self.queries} queries, parallelism={self.parallelism}, "
+            f"{self.data_page_fetches} fetches for {self.logical_data_page_reads} "
+            f"logical page reads, {self.prob_computations} P_app + "
+            f"{self.memo_hits} memo hits, "
+            f"sample-cache {100 * self.sample_cache_hit_rate:.0f}%, "
+            f"wall={1000 * self.wall_seconds:.1f}ms"
+        )
+        if self.shards:
+            text += f", {self.shards} shards/{self.shard_probes} probes"
+        return text + ")"
+
+    def summary(self) -> str:
+        """The whole batch as one aligned table (plus per-shard rows)."""
+        from repro.core.stats import format_aligned
+
+        rows = [
+            ["queries", self.queries],
+            ["parallelism", self.parallelism],
+            ["unique data pages", self.unique_data_pages],
+            ["data page fetches", self.data_page_fetches],
+            ["logical page reads", self.logical_data_page_reads],
+            ["pages saved", self.data_pages_saved],
+            ["physical reads", self.physical_reads],
+            ["cache hits", self.cache_hits],
+            ["P_app computed", self.prob_computations],
+            ["P_app memo hits", self.memo_hits],
+            ["sample-cache hit rate", f"{100 * self.sample_cache_hit_rate:.1f}%"],
+            ["filter / fetch / refine (ms)",
+             f"{1000 * self.filter_seconds:.1f} / {1000 * self.fetch_seconds:.1f}"
+             f" / {1000 * self.refine_seconds:.1f}"],
+            ["wall (ms)", f"{1000 * self.wall_seconds:.1f}"],
+        ]
+        if self.shards:
+            rows.insert(2, ["shards (probes / pruned)",
+                            f"{self.shards} ({self.shard_probes} / {self.shards_pruned})"])
+        table = format_aligned(["metric", "value"], rows)
+        if self.shard_stats:
+            table += "\n" + format_aligned(
+                ["shard", "probes", "routed away", "nodes", "validated",
+                 "candidates", "pruned", "reads", "hits", "filter ms"],
+                [s.row() for s in self.shard_stats],
+            )
+        return table
+
 
 @dataclass
 class BatchResult:

@@ -10,10 +10,11 @@ paper's parameters.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, replace
 
-__all__ = ["Scale", "DEFAULT_SCALE", "FULL_SCALE", "BENCH_SCALE", "active_scale"]
+from repro.env import env_flag
+
+__all__ = ["Scale", "DEFAULT_SCALE", "FULL_SCALE", "BENCH_SCALE", "active_scale", "scale_for"]
 
 
 @dataclass(frozen=True)
@@ -78,8 +79,15 @@ BENCH_SCALE = Scale(
 )
 
 
+def scale_for(config) -> Scale:
+    """The scale an :class:`repro.api.ExecConfig` selects."""
+    return FULL_SCALE if getattr(config, "full_scale", False) else DEFAULT_SCALE
+
+
 def active_scale() -> Scale:
-    """The scale selected by the environment (default unless full-scale)."""
-    if os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes"):
-        return FULL_SCALE
-    return DEFAULT_SCALE
+    """The scale selected by the environment (default unless full-scale).
+
+    Resolved through :mod:`repro.env` — the same switch
+    :meth:`repro.api.ExecConfig.from_env` exposes as ``full_scale``.
+    """
+    return FULL_SCALE if env_flag("REPRO_FULL_SCALE") else DEFAULT_SCALE

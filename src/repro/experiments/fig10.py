@@ -11,16 +11,14 @@ Aircraft at low pq, as in the paper.
 from __future__ import annotations
 
 from repro.datasets.workload import make_workload
-from repro.exec.batch import BatchExecutor
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import (
-    DATASETS,
-    build_sharded,
-    build_upcr,
-    build_utree,
-    dataset_points,
+from repro.experiments.data import DATASETS, build_database, dataset_points
+from repro.experiments.harness import (
+    config_from_knobs,
+    format_table,
+    run_spec_workload,
+    total_cost_seconds,
 )
-from repro.experiments.harness import format_table, run_workload, total_cost_seconds
 
 __all__ = ["run", "main", "PQ_VALUES", "DEFAULT_QS"]
 
@@ -33,65 +31,51 @@ def run(
     datasets: tuple[str, ...] = DATASETS,
     pq_values: tuple[float, ...] = PQ_VALUES,
     qs: float = DEFAULT_QS,
-    batched: bool = False,
-    parallelism: int = 1,
-    shards: int = 1,
-    partitioner: str = "str",
-    filter_kernel: str = "on",
+    config=None,
+    **legacy_knobs,
 ) -> dict:
     """Sweep pq per dataset; returns the three panel series for each.
 
-    This experiment reuses one set of query rectangles across all five
-    thresholds, so ``batched=True`` (one BatchExecutor per tree with its
-    ``(object, rect)``-keyed P_app memo) removes most repeated
-    Monte-Carlo work.  Logical I/O panels are unchanged; the
-    prob-computations panel then reports *actual* computations — memo
-    hits are excluded (and depend on sweep order, since the first
-    threshold that needs a value computes it).  Use the default
-    ``batched=False`` to reproduce the paper's per-query CPU *counts*
-    (node accesses, prob computations, validated percentages); note that
-    measured wall-clock is engine-accelerated in every mode — the shared
-    sample cache persists across the sweep, so the first threshold pays
-    the cloud draws and later ones reuse them.  ``parallelism`` (batched
-    mode) overlaps the executor's phases on a thread pool; answers are
-    identical at any setting.  ``shards >= 2`` sweeps the threshold
-    panels against sharded execution, and ``filter_kernel`` sweeps the
-    vectorized filter kernel against the scalar rules (see
-    :func:`repro.experiments.fig9.run` for both knobs — counts are
-    identical, only wall-clock moves).
+    Execution runs through one :class:`repro.api.Database` per dataset
+    under ``config`` (see :func:`repro.experiments.fig9.run` for the
+    sweepable knobs).  This experiment reuses one set of query
+    rectangles across all five thresholds, so
+    ``ExecConfig(batched=True)`` — the facade holds one batched executor
+    per method, and its ``(object, rect)``-keyed P_app memo spans the
+    sweep — removes most repeated Monte-Carlo work.  Logical I/O panels
+    are unchanged; the prob-computations panel then reports *actual*
+    computations — memo hits are excluded (and depend on sweep order,
+    since the first threshold that needs a value computes it).  The
+    default ``ExecConfig(batched=False)`` reproduces the paper's
+    per-query CPU *counts* (node accesses, prob computations, validated
+    percentages); note that measured wall-clock is engine-accelerated in
+    every mode — the shared sample cache persists across the sweep, so
+    the first threshold pays the cloud draws and later ones reuse them.
+
+    The pre-facade keyword knobs still work as deprecation shims.
     """
     scale = scale if scale is not None else active_scale()
+    config = config_from_knobs(config, **legacy_knobs)
     out: dict = {}
     for name in datasets:
         points = dataset_points(name, scale)
-        if shards > 1:
-            utree = build_sharded(
-                name, scale, shards=shards, method="utree",
-                partitioner=partitioner, filter_kernel=filter_kernel,
-            )
-            upcr = build_sharded(
-                name, scale, shards=shards, method="upcr",
-                partitioner=partitioner, filter_kernel=filter_kernel,
-            )
-        else:
-            utree = build_utree(name, scale, filter_kernel=filter_kernel)
-            upcr = build_upcr(name, scale, filter_kernel=filter_kernel)
+        db = build_database(name, scale, methods=("utree", "upcr"), config=config)
+        # Fresh memos per run() call (the memo still spans this run's
+        # threshold sweep — the access pattern it was built for — but a
+        # repeated run must report the same cost counters).
+        db.clear_memos()
         # Same query regions across thresholds, as in the paper.
         base = make_workload(points, scale.queries_per_workload, qs, pq_values[0], seed=900)
-        series: dict = {"pq": list(pq_values), "filter_kernel": filter_kernel}
-        for label, tree in (("utree", utree), ("upcr", upcr)):
-            # One executor per tree so the P_app memo spans the threshold
-            # sweep (the rectangles are identical at every pq).
-            executor = (
-                BatchExecutor(tree, parallelism=parallelism) if batched else None
-            )
+        series: dict = {
+            "pq": list(pq_values),
+            "config": db.config.summary(),
+            "filter_kernel": "on" if db.config.kernel_enabled else "off",
+        }
+        for label in ("utree", "upcr"):
             ios, probs, validated, totals = [], [], [], []
             for pq in pq_values:
                 workload = [type(q)(q.rect, pq) for q in base]
-                if executor is not None:
-                    stats = executor.run(workload).workload
-                else:
-                    stats = run_workload(tree, workload)
+                stats = run_spec_workload(db, workload, method=label)
                 ios.append(stats.avg_node_accesses)
                 probs.append(stats.avg_prob_computations)
                 validated.append(stats.validated_percentage)

@@ -14,11 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.utree import UTree
 from repro.exec.executor import measure_delete_drain, measure_insert_build
 from repro.experiments.config import Scale, active_scale
 from repro.experiments.data import DATASETS, dataset_objects
-from repro.experiments.harness import format_table
+from repro.experiments.harness import config_from_knobs, format_table
 
 __all__ = ["run", "main"]
 
@@ -26,35 +25,43 @@ __all__ = ["run", "main"]
 def run(
     scale: Scale | None = None,
     datasets: tuple[str, ...] = DATASETS,
-    filter_kernel: str = "on",
+    config=None,
+    **legacy_knobs,
 ) -> dict:
     """Measure per-dataset insertion and deletion cost of the U-tree.
 
-    ``filter_kernel`` sweeps the vectorized filter kernel's *update-side*
-    cost: with ``"on"`` every insert also appends the object's CFB
-    columns to the columnar sidecar (and every delete releases its row),
-    so the figure can report how much the kernel's bookkeeping adds to
-    the paper's per-update numbers (I/O is untouched — the sidecar is
-    memory-resident).
+    Builds a fresh single-U-tree :class:`repro.api.Database` per dataset
+    (no cache — this experiment *is* the build) and measures through the
+    facade's ``insert``/``delete``.  ``ExecConfig(filter_kernel=...)``
+    sweeps the vectorized filter kernel's *update-side* cost: with
+    ``"on"`` every insert also appends the object's CFB columns to the
+    columnar sidecar (and every delete releases its row), so the figure
+    can report how much the kernel's bookkeeping adds to the paper's
+    per-update numbers (I/O is untouched — the sidecar is
+    memory-resident).  The old ``filter_kernel=`` keyword folds in as a
+    deprecation shim.
     """
+    from repro.api import Database
+
     scale = scale if scale is not None else active_scale()
+    config = config_from_knobs(config, **legacy_knobs)
     out: dict = {}
     for name in datasets:
         objects = dataset_objects(name, scale)
         dim = objects[0].dim
-        tree = UTree(dim, filter_kernel=filter_kernel)
+        db = Database.create([], config, methods=("utree",), dim=dim)
 
-        insert_costs = measure_insert_build(tree, objects)
+        insert_costs = measure_insert_build(db, objects)
         insert_io = [cost.io_total for cost in insert_costs]
         insert_cpu = [cost.cpu_seconds for cost in insert_costs]
 
         delete_costs = measure_delete_drain(
-            tree, [obj.oid for obj in objects], np.random.default_rng(5)
+            db, [obj.oid for obj in objects], np.random.default_rng(5)
         )
         delete_io = [cost.io_total for cost in delete_costs]
 
         out[name] = {
-            "filter_kernel": filter_kernel,
+            "filter_kernel": "on" if db.config.kernel_enabled else "off",
             "insert_avg_io": float(np.mean(insert_io)),
             "insert_avg_cpu_seconds": float(np.mean(insert_cpu)),
             "insert_avg_io_seconds": float(np.mean(insert_io)) * scale.io_latency_seconds,

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from repro.exec.refine import RefinementEngine
+from repro.api import ExecConfig
 from repro.experiments.config import Scale, active_scale
 from repro.experiments.harness import format_table
 from repro.geometry.rect import Rect
@@ -69,9 +69,10 @@ def run(scale: Scale | None = None, n_queries: int = 12) -> dict:
     """Run the study; returns per-dimension error/time series.
 
     Each ``n1`` is timed twice: the classic per-pair estimator (fresh
-    draw per evaluation — the paper's cost) and the
-    :class:`RefinementEngine`'s sample-reuse path, where the whole query
-    batch shares one cached cloud (``seconds_per_eval_reused``).  Both
+    draw per evaluation — the paper's cost) and the refinement engine's
+    sample-reuse path (built through ``ExecConfig.refinement_engine``),
+    where the whole query batch shares one cached cloud
+    (``seconds_per_eval_reused``).  Both
     produce bit-identical probabilities; the gap between the columns is
     exactly the redundant sampling work the engine removes.
     """
@@ -100,7 +101,9 @@ def run(scale: Scale | None = None, n_queries: int = 12) -> dict:
             errors.append(float(np.mean(per_query)))
             times.append(estimator.elapsed_seconds / max(1, estimator.evaluations))
 
-            engine = RefinementEngine(n_samples=n1, seed=1234, cache_capacity=4)
+            engine = ExecConfig(mc_samples=n1, seed=1234).refinement_engine(
+                cache_capacity=4
+            )
             reuse_start = time.perf_counter()
             engine.estimate_batch([(probe, q) for q in queries])
             reuse_times.append(

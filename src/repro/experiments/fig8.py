@@ -17,8 +17,13 @@ import numpy as np
 from repro.core.catalog import UCatalog
 from repro.datasets.workload import make_workload
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import build_upcr, build_utree, dataset_points
-from repro.experiments.harness import format_table, run_workload, total_cost_seconds
+from repro.experiments.data import build_database, dataset_points
+from repro.experiments.harness import (
+    config_from_knobs,
+    format_table,
+    run_spec_workload,
+    total_cost_seconds,
+)
 
 __all__ = ["run", "main"]
 
@@ -44,11 +49,14 @@ def run(
     dataset: str = "LB",
     tree: str = "upcr",
     m_values: list[int] | None = None,
+    config=None,
+    **legacy_knobs,
 ) -> dict:
     """Average query cost per catalog size; returns the cost series."""
     scale = scale if scale is not None else active_scale()
     if tree not in ("upcr", "utree"):
         raise ValueError(f"tree must be 'upcr' or 'utree', got {tree!r}")
+    config = config_from_knobs(config, **legacy_knobs)
     m_values = m_values if m_values is not None else catalog_sizes(scale)
     points = dataset_points(dataset, scale)
     thresholds = threshold_values(scale)
@@ -61,15 +69,15 @@ def run(
     details = []
     for m in m_values:
         catalog = UCatalog.evenly_spaced(m)
-        if tree == "upcr":
-            index = build_upcr(dataset, scale, catalog=catalog)
-        else:
-            index = build_utree(dataset, scale, catalog=catalog)
+        db = build_database(
+            dataset, scale, methods=(tree,), catalog=catalog, config=config
+        )
+        index = db.access_method(tree)
         per_workload = []
         io_total = 0.0
         cpu_total = 0.0
         for workload in workloads:
-            stats = run_workload(index, workload)
+            stats = run_spec_workload(db, workload, method=tree)
             per_workload.append(total_cost_seconds(stats, scale))
             io_total += stats.avg_total_io
             cpu_total += stats.avg_prob_computations

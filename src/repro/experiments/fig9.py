@@ -15,17 +15,11 @@ from __future__ import annotations
 
 from repro.datasets.workload import make_workload
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import (
-    DATASETS,
-    build_sharded,
-    build_upcr,
-    build_utree,
-    dataset_points,
-)
+from repro.experiments.data import DATASETS, build_database, dataset_points
 from repro.experiments.harness import (
+    config_from_knobs,
     format_table,
-    run_workload,
-    run_workload_batched,
+    run_spec_workload,
     total_cost_seconds,
 )
 
@@ -40,66 +34,55 @@ def run(
     datasets: tuple[str, ...] = DATASETS,
     qs_values: tuple[float, ...] = QS_VALUES,
     pq: float = DEFAULT_PQ,
-    batched: bool = False,
-    parallelism: int = 1,
-    shards: int = 1,
-    partitioner: str = "str",
-    filter_kernel: str = "on",
+    config=None,
+    **legacy_knobs,
 ) -> dict:
     """Sweep qs per dataset; returns the three panel series for each.
 
-    ``batched=True`` runs each workload through the
-    :class:`~repro.exec.batch.BatchExecutor` (cross-query page dedup and
-    P_app memoisation) instead of query-at-a-time execution; logical I/O
-    panels are unchanged, wall-clock and physical reads drop.
-    ``parallelism >= 2`` (batched mode only) additionally overlaps the
-    filter / fetch / refine phases on a thread pool.  Either way the
-    refinement engine reuses each object's Monte-Carlo cloud across the
-    workload, so the CPU panel charges masking work, not redundant
-    sampling.
+    Execution is wired entirely by ``config`` (an
+    :class:`repro.api.ExecConfig`); the harness queries one
+    :class:`repro.api.Database` holding both structures per dataset.
+    The default — ``ExecConfig(batched=False)`` — reproduces the paper's
+    query-at-a-time accounting.  The interesting sweeps:
 
-    ``shards >= 2`` partitions each dataset across that many child
-    structures behind the shard router (``partitioner`` picks the
-    :data:`~repro.exec.shard.PARTITIONERS` scheme) so the figure can be
-    swept against sharded execution — answers are identical at any
-    shard count; node-access panels then reflect routed probes.
+    * ``ExecConfig(batched=True, parallelism=N)`` runs each workload
+      through the batched executor (cross-query page dedup, P_app
+      memoisation; ``N >= 2`` overlaps filter / fetch / refine on a
+      thread pool) — logical I/O panels are unchanged, wall-clock and
+      physical reads drop;
+    * ``ExecConfig(shards=N, partitioner=...)`` partitions each dataset
+      behind the shard router — answers are identical at any shard
+      count; node-access panels then reflect routed probes;
+    * ``ExecConfig(filter_kernel="on"/"off")`` sweeps the vectorized
+      filter kernel against the paper-exact scalar rules — verdicts and
+      counts are identical, only ``total_cost_seconds`` moves.
 
-    ``filter_kernel`` sweeps the vectorized filter-phase kernel:
-    ``"on"`` (default) classifies leaf batches with stacked mask
-    reductions, ``"off"`` runs the paper-exact scalar rules.  Verdicts,
-    node accesses and prob-computation counts are identical either way —
-    only ``total_cost_seconds`` moves, so two runs report
-    scalar-vs-kernel wall-clock side by side.
+    The pre-facade ``batched=``/``parallelism=``/``shards=``/
+    ``partitioner=``/``filter_kernel=`` keywords still work as
+    deprecation shims folding into ``config``.
     """
     scale = scale if scale is not None else active_scale()
-    if batched:
-        def runner(tree, workload):
-            return run_workload_batched(tree, workload, parallelism=parallelism)
-    else:
-        runner = run_workload
+    config = config_from_knobs(config, **legacy_knobs)
     out: dict = {}
     for name in datasets:
         points = dataset_points(name, scale)
-        if shards > 1:
-            utree = build_sharded(
-                name, scale, shards=shards, method="utree",
-                partitioner=partitioner, filter_kernel=filter_kernel,
-            )
-            upcr = build_sharded(
-                name, scale, shards=shards, method="upcr",
-                partitioner=partitioner, filter_kernel=filter_kernel,
-            )
-        else:
-            utree = build_utree(name, scale, filter_kernel=filter_kernel)
-            upcr = build_upcr(name, scale, filter_kernel=filter_kernel)
-        series: dict = {"qs": list(qs_values), "filter_kernel": filter_kernel}
-        for label, tree in (("utree", utree), ("upcr", upcr)):
+        db = build_database(name, scale, methods=("utree", "upcr"), config=config)
+        # The database is memoised across run() calls; dropping the P_app
+        # memos here keeps repeated sweeps' cost counters reproducible
+        # (pre-facade behaviour: a fresh executor per run call).
+        db.clear_memos()
+        series: dict = {
+            "qs": list(qs_values),
+            "config": db.config.summary(),
+            "filter_kernel": "on" if db.config.kernel_enabled else "off",
+        }
+        for label in ("utree", "upcr"):
             ios, probs, validated, totals = [], [], [], []
             for i, qs in enumerate(qs_values):
                 workload = make_workload(
                     points, scale.queries_per_workload, qs, pq, seed=300 + i
                 )
-                stats = runner(tree, workload)
+                stats = run_spec_workload(db, workload, method=label)
                 ios.append(stats.avg_node_accesses)
                 probs.append(stats.avg_prob_computations)
                 validated.append(stats.validated_percentage)

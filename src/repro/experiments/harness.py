@@ -5,20 +5,91 @@ accesses (I/O), average number of appearance-probability computations with
 the directly-validated percentage (CPU), and total elapsed seconds.  Total
 cost here is ``page_accesses * io_latency + measured CPU seconds`` —
 the simulated-disk equivalent of the paper's wall-clock measurements.
+
+Since the ``repro.api`` facade landed, the figure harnesses execute
+through a :class:`repro.api.Database` (:func:`run_spec_workload`); the
+pre-facade sweep knobs survive as deprecation shims
+(:func:`config_from_knobs`, :func:`run_workload_batched`).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 from repro.core.query import ProbRangeQuery
-from repro.core.stats import WorkloadStats
-from repro.exec.batch import BatchExecutor
-from repro.exec.executor import execute_workload
+from repro.core.stats import WorkloadStats, format_aligned
 from repro.exec.refine import RefinementEngine
 from repro.experiments.config import Scale
 
-__all__ = ["run_workload", "run_workload_batched", "total_cost_seconds", "format_table"]
+__all__ = [
+    "as_specs",
+    "config_from_knobs",
+    "format_table",
+    "run_spec_workload",
+    "run_workload",
+    "run_workload_batched",
+    "total_cost_seconds",
+]
+
+# The old per-figure sweep knobs and the ExecConfig field each maps to.
+_LEGACY_KNOBS = {
+    "batched": "batched",
+    "parallelism": "parallelism",
+    "shards": "shards",
+    "partitioner": "partitioner",
+    "filter_kernel": "filter_kernel",
+}
+
+
+def as_specs(queries: Sequence[ProbRangeQuery]):
+    """Engine-level queries as the facade's declarative range specs."""
+    from repro.api import RangeSpec
+
+    return [RangeSpec(q.rect, q.threshold) for q in queries]
+
+
+def run_spec_workload(db, queries: Sequence[ProbRangeQuery], *, method: str | None = None) -> WorkloadStats:
+    """Run a workload through a :class:`repro.api.Database`.
+
+    The facade executes under its own config (``batched``,
+    ``parallelism`` and the rest all live there); ``method`` pins one of
+    the database's access methods, as the figure sweeps need.
+    """
+    return db.run(as_specs(queries), method=method).workload
+
+
+def config_from_knobs(config=None, *, stacklevel: int = 3, **knobs):
+    """Fold the pre-facade sweep knobs into an :class:`ExecConfig`.
+
+    The figure harnesses' old ``batched=``/``parallelism=``/``shards=``/
+    ``partitioner=``/``filter_kernel=`` parameters are deprecated; this
+    shim warns once per call site and rewrites them onto the config so
+    existing scripts keep working.
+    """
+    from repro.api import ExecConfig
+
+    unknown = [name for name in knobs if name not in _LEGACY_KNOBS]
+    if unknown:
+        raise TypeError(f"unknown harness knobs: {sorted(unknown)}")
+    passed = {
+        _LEGACY_KNOBS[name]: value for name, value in knobs.items() if value is not None
+    }
+    config = config if config is not None else ExecConfig(batched=False)
+    if passed:
+        warnings.warn(
+            f"the {sorted(passed)} harness knobs are deprecated; pass "
+            f"config=ExecConfig({', '.join(sorted(passed))}=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        # The old signatures accepted parallelism in unbatched runs and
+        # silently ignored it ("parallelism (batched mode)"); keep that
+        # contract instead of tripping ExecConfig's validation.
+        if not passed.get("batched", config.batched):
+            passed.pop("parallelism", None)
+        config = config.with_options(**passed)
+    return config
 
 
 def run_workload(
@@ -36,6 +107,8 @@ def run_workload(
     to share sample clouds across workloads); all reported statistics
     keep the paper's per-pair meaning.
     """
+    from repro.exec.executor import execute_workload
+
     if hasattr(tree, "filter_candidates"):
         return execute_workload(tree, queries, engine=engine)
     stats = WorkloadStats()
@@ -50,11 +123,20 @@ def run_workload_batched(
     *,
     parallelism: int = 1,
 ) -> WorkloadStats:
-    """Run the workload through the batched executor (cross-query reuse).
+    """Deprecated: run the workload through the batched executor.
 
-    ``parallelism >= 2`` overlaps the filter / page-fetch / refine phases
-    on a thread pool; ``1`` is the exact-accounting serial path.
+    Superseded by the facade — ``Database.run`` with
+    ``ExecConfig(batched=True, parallelism=N)`` is the same execution
+    path with the config resolved in one place.
     """
+    warnings.warn(
+        "run_workload_batched is deprecated; use repro.api.Database.run "
+        "with ExecConfig(batched=True, parallelism=N)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.exec.batch import BatchExecutor
+
     return BatchExecutor(tree, parallelism=parallelism).run(queries).workload
 
 
@@ -65,27 +147,4 @@ def total_cost_seconds(stats: WorkloadStats, scale: Scale) -> float:
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Fixed-width text table used by all experiment CLIs."""
-    cells = [[_fmt(value) for value in row] for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
-        for i in range(len(headers))
-    ]
-    lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in cells:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
-    return "\n".join(lines)
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1000:
-            return f"{value:,.0f}"
-        if abs(value) >= 1:
-            return f"{value:.2f}"
-        return f"{value:.4f}"
-    return str(value)
+    return format_aligned(headers, rows)

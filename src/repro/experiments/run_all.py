@@ -30,8 +30,18 @@ _EXPERIMENTS = [
 
 
 def main() -> None:
+    from repro.env import snapshot, warn_unknown_keys
+
     scale = active_scale()
-    print(f"== U-tree reproduction: all experiments at scale '{scale.name}' ==\n")
+    warn_unknown_keys()
+    print(f"== U-tree reproduction: all experiments at scale '{scale.name}' ==")
+    overrides = snapshot()
+    if overrides:
+        # Report what is *set*, not what every figure applies — each
+        # main() runs under its own defaults plus these env overrides.
+        text = ", ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+        print(f"== REPRO_* environment overrides: {text} ==")
+    print()
     total_start = time.perf_counter()
     for label, runner in _EXPERIMENTS:
         start = time.perf_counter()

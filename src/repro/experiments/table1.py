@@ -12,7 +12,7 @@ since it is governed by the entry layouts.
 from __future__ import annotations
 
 from repro.experiments.config import Scale, active_scale
-from repro.experiments.data import DATASETS, build_upcr, build_utree
+from repro.experiments.data import DATASETS, build_database
 from repro.experiments.harness import format_table
 
 __all__ = ["run", "main"]
@@ -29,8 +29,9 @@ def run(scale: Scale | None = None, datasets: tuple[str, ...] = DATASETS) -> dic
     scale = scale if scale is not None else active_scale()
     out: dict = {}
     for name in datasets:
-        upcr = build_upcr(name, scale)
-        utree = build_utree(name, scale)
+        db = build_database(name, scale, methods=("utree", "upcr"))
+        upcr = db.access_method("upcr")
+        utree = db.access_method("utree")
         out[name] = {
             "upcr_bytes": upcr.size_bytes,
             "utree_bytes": utree.size_bytes,

@@ -219,6 +219,14 @@ class DataFile:
         self._charge_read(address.page_id)
         return self._pages[address.page_id].payloads[address.slot]
 
+    def peek(self, address: DiskAddress) -> Any:
+        """Fetch one record without charging any I/O.
+
+        For out-of-band access — serialisation, debugging — never for
+        query execution, which must account every page touch.
+        """
+        return self._pages[address.page_id].payloads[address.slot]
+
     def read_page(self, page_id: int) -> list[Any]:
         """Fetch every record on a page with a single page read (unless pooled)."""
         self._charge_read(page_id)

@@ -19,7 +19,6 @@ subclasses raise a clear error; tabulate them first.
 from __future__ import annotations
 
 import json
-import os
 from typing import Any
 
 import numpy as np
@@ -151,8 +150,13 @@ def density_from_descriptor(doc: dict[str, Any]) -> Density:
 _FORMAT_VERSION = 1
 
 
-def save_utree(tree: UTree, path) -> None:
-    """Write a built U-tree to ``path`` (a ``.npz`` archive)."""
+def save_utree(tree: UTree, path, *, extra: dict[str, Any] | None = None) -> None:
+    """Write a built U-tree to ``path`` (a ``.npz`` archive).
+
+    ``extra`` adds caller-owned entries to the archive (the
+    :class:`repro.api.Database` facade stores its config there); keys
+    must not collide with the format's own.
+    """
     records: list[UTreeLeafRecord] = [e.data for e in tree.engine.leaf_entries()]
     records.sort(key=lambda r: r.oid)
     n = len(records)
@@ -173,8 +177,17 @@ def save_utree(tree: UTree, path) -> None:
         obj = _object_for(tree, record)
         descriptors.append(json.dumps(density_descriptor(obj.pdf)))
 
+    extra = dict(extra) if extra else {}
+    reserved = {
+        "format_version", "dim", "page_size", "catalog", "oids", "mbrs",
+        "outer", "inner", "descriptors", "filter_kernel",
+    }
+    clashes = reserved & extra.keys()
+    if clashes:
+        raise ValueError(f"extra archive keys clash with the format: {sorted(clashes)}")
     np.savez_compressed(
         path,
+        **extra,
         format_version=np.int64(_FORMAT_VERSION),
         dim=np.int64(d),
         page_size=np.int64(tree.engine.layout.page_size),
@@ -192,14 +205,13 @@ def save_utree(tree: UTree, path) -> None:
 
 
 def _object_for(tree: UTree, record: UTreeLeafRecord) -> UncertainObject:
-    payloads = tree.data_file._pages[record.address.page_id].payloads
-    obj = payloads[record.address.slot]
+    obj = tree.data_file.peek(record.address)
     if not isinstance(obj, UncertainObject):  # pragma: no cover - internal
         raise SerializationError("data file does not hold UncertainObject payloads")
     return obj
 
 
-def load_utree(path, estimator=None, *, filter_kernel=None) -> UTree:
+def load_utree(path, estimator=None, *, filter_kernel=None, pool=None) -> UTree:
     """Reconstruct a U-tree saved with :func:`save_utree`.
 
     The fitted CFBs are restored verbatim (no re-fitting); the node
@@ -207,13 +219,15 @@ def load_utree(path, estimator=None, *, filter_kernel=None) -> UTree:
 
     ``filter_kernel`` overrides the loaded tree's kernel mode.  When left
     ``None`` (and no ``REPRO_FILTER_KERNEL`` environment override is
-    set), the archive's own flag decides — a kernel-enabled tree survives
-    the round-trip as one.  The sidecar itself is rebuilt in bulk from
-    the archive's columnar MBR/CFB stacks
-    (:meth:`CFBFilterKernel.extend`), not object by object.
+    set — resolved through :mod:`repro.env`), the archive's own flag
+    decides — a kernel-enabled tree survives the round-trip as one.  The
+    sidecar itself is rebuilt in bulk from the archive's columnar
+    MBR/CFB stacks (:meth:`CFBFilterKernel.extend`), not object by
+    object.  ``pool`` attaches a buffer pool to the rebuilt tree.
     """
     from repro.core.catalog import UCatalog
     from repro.core.filterkernel import FILTER_KERNEL_ENV
+    from repro.env import env_value
     from repro.index.bulkload import bulk_load
 
     with np.load(path, allow_pickle=True) as archive:
@@ -230,14 +244,15 @@ def load_utree(path, estimator=None, *, filter_kernel=None) -> UTree:
         descriptors = archive["descriptors"]
         if (
             filter_kernel is None
-            and os.environ.get(FILTER_KERNEL_ENV) is None
+            and env_value(FILTER_KERNEL_ENV) is None
             and "filter_kernel" in archive
         ):
             filter_kernel = bool(int(archive["filter_kernel"]))
 
     kwargs = {} if estimator is None else {"estimator": estimator}
     tree = UTree(
-        dim, catalog, page_size=page_size, filter_kernel=filter_kernel, **kwargs
+        dim, catalog, page_size=page_size, filter_kernel=filter_kernel,
+        pool=pool, **kwargs
     )
     rows = None
     if tree.kernel is not None:

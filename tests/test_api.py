@@ -1,0 +1,742 @@
+"""The ``repro.api`` front door: config, specs, facade, persistence.
+
+The heart of this module is the equivalence matrix: ``Database.run``
+must be *bit-identical* to the hand-wired legacy paths
+(``QueryExecutor`` / ``BatchExecutor``) across
+{utree, upcr, scan} x {kernel on/off} x {shards 1/4} x
+{parallelism 1/4}, and ``ExecConfig.paper_exact()`` must reproduce the
+seed's per-query node-access / data-page / P_app accounting exactly.
+The facade adds no third execution path — these tests keep it that way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ExecConfig, NearestSpec, RangeSpec, Result
+from repro.core.nn import probabilistic_nearest_neighbors
+from repro.core.query import ProbRangeQuery
+from repro.core.scan import SequentialScan
+from repro.core.upcr import UPCRTree
+from repro.core.utree import UTree
+from repro.exec.batch import BatchExecutor
+from repro.exec.executor import QueryExecutor
+from repro.exec.shard import ShardedAccessMethod
+from repro.geometry.rect import Rect
+from repro.storage.serialize import save_utree
+from repro.uncertainty.montecarlo import AppearanceEstimator
+from tests.conftest import make_mixed_objects
+
+N_SAMPLES = 1200
+SEED = 11
+METHODS = ("utree", "upcr", "scan")
+KERNELS = ("on", "off")
+SHARD_COUNTS = (1, 4)
+PARALLELISMS = (1, 4)
+
+
+def _objects():
+    return make_mixed_objects(40, seed=9)
+
+
+def _specs():
+    rng = np.random.default_rng(21)
+    specs = []
+    for pq in (0.25, 0.5, 0.8):
+        centre = rng.uniform(2000, 8000, 2)
+        half = float(rng.uniform(600, 1500))
+        specs.append(RangeSpec(Rect.from_center(centre, half), pq))
+    specs.append(RangeSpec(Rect([0.0, 0.0], [10_000.0, 10_000.0]), 0.4))
+    return specs
+
+
+def _estimator():
+    return AppearanceEstimator(n_samples=N_SAMPLES, seed=SEED)
+
+
+def _legacy_structure(method: str, kernel: str, shards: int):
+    """The hand-wired build the facade must reproduce bit for bit."""
+    objects = _objects()
+    if shards > 1:
+        return ShardedAccessMethod.build(
+            objects, shards=shards, partitioner="str", method=method,
+            estimator=_estimator(), filter_kernel=kernel,
+        )
+    cls = {"utree": UTree, "upcr": UPCRTree, "scan": SequentialScan}[method]
+    structure = cls(2, estimator=_estimator(), filter_kernel=kernel)
+    for obj in objects:
+        structure.insert(obj)
+    return structure
+
+
+@pytest.fixture(scope="module")
+def structures():
+    """One legacy build per (method, kernel, shards), shared by the matrix."""
+    cache: dict = {}
+
+    def get(method: str, kernel: str, shards: int):
+        key = (method, kernel, shards)
+        if key not in cache:
+            cache[key] = _legacy_structure(*key)
+        return cache[key]
+
+    return get
+
+
+class TestExecConfig:
+    def test_defaults_are_valid(self):
+        config = ExecConfig()
+        assert config.shards == 1 and config.batched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"partitioner": "zorder"},
+            {"parallelism": 0},
+            {"batched": False, "parallelism": 2},
+            {"io_latency_seconds": -1.0},
+            {"pool_capacity": -1},
+            {"page_size": 64},
+            {"mc_samples": 0},
+            {"filter_kernel": "sometimes"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecConfig().shards = 2
+
+    def test_paper_exact_pins_paper_accounting_knobs(self):
+        config = ExecConfig.paper_exact()
+        assert config.filter_kernel == "off"
+        assert not config.kernel_enabled
+        assert config.shards == 1
+        assert config.pool_capacity == 0
+        assert not config.batched
+        assert config.parallelism == 1
+        assert not config.memoize and not config.dedupe_pages
+
+    def test_with_options(self):
+        config = ExecConfig().with_options(shards=4, parallelism=2)
+        assert (config.shards, config.parallelism) == (4, 2)
+
+    def test_json_round_trip(self):
+        config = ExecConfig(shards=4, partitioner="hash", filter_kernel="off")
+        assert ExecConfig.from_json(config.to_json()) == config
+
+    def test_summary_lists_only_non_defaults(self):
+        assert ExecConfig().summary() == "ExecConfig(defaults)"
+        assert "shards=4" in ExecConfig(shards=4).summary()
+
+    def test_from_env_reads_each_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FILTER_KERNEL", "off")
+        monkeypatch.setenv("REPRO_SHARD_PARALLELISM", "3")
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        config = ExecConfig.from_env()
+        assert config.filter_kernel == "off" and not config.kernel_enabled
+        assert config.parallelism == 3
+        assert config.full_scale
+
+    def test_from_env_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_PARALLELISM", "3")
+        assert ExecConfig.from_env(parallelism=2).parallelism == 2
+
+    def test_from_env_warns_on_unknown_repro_keys(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FITLER_KERNEL", "off")  # the classic typo
+        with pytest.warns(UserWarning, match="REPRO_FITLER_KERNEL"):
+            ExecConfig.from_env()
+
+
+class TestEnvModule:
+    def test_env_value_rejects_unregistered_keys(self):
+        from repro.env import env_value
+
+        with pytest.raises(KeyError):
+            env_value("REPRO_NOT_A_KNOB")
+
+    def test_warn_unknown_keys_returns_offenders(self, monkeypatch):
+        from repro.env import warn_unknown_keys
+
+        monkeypatch.setenv("REPRO_BOGUS", "1")
+        with pytest.warns(UserWarning):
+            assert warn_unknown_keys() == ["REPRO_BOGUS"]
+
+    def test_clean_environment_warns_nothing(self):
+        from repro.env import warn_unknown_keys
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert warn_unknown_keys({"REPRO_FULL_SCALE": "1", "PATH": "x"}) == []
+
+    def test_filter_kernel_env_still_routes_through_env_module(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FILTER_KERNEL", "off")
+        assert UTree(2).kernel is None
+        monkeypatch.setenv("REPRO_FILTER_KERNEL", "on")
+        assert UTree(2).kernel is not None
+
+
+class TestSpecs:
+    def test_range_spec_validates(self):
+        with pytest.raises(ValueError):
+            RangeSpec(Rect([0, 0], [1, 1]), 0.0)
+        with pytest.raises(TypeError):
+            RangeSpec(([0, 0], [1, 1]), 0.5)
+
+    def test_range_spec_box_and_query(self):
+        spec = RangeSpec.box([0, 0], [10, 10], 0.5)
+        query = spec.to_query()
+        assert isinstance(query, ProbRangeQuery)
+        assert query.threshold == 0.5 and spec.dim == 2
+
+    def test_nearest_spec_validates(self):
+        with pytest.raises(ValueError):
+            NearestSpec([0, 0], k=0)
+        with pytest.raises(ValueError):
+            NearestSpec([0, 0], mode="fuzzy")
+        spec = NearestSpec(np.array([1.0, 2.0]), k=2)
+        assert spec.point == (1.0, 2.0) and spec.dim == 2
+
+    def test_result_membership(self):
+        result = Result(spec=RangeSpec.box([0, 0], [1, 1], 0.5), method="utree",
+                        object_ids=[3, 1, 2])
+        assert 2 in result and 9 not in result
+        assert result.sorted_ids() == [1, 2, 3]
+        assert len(result) == 3
+
+
+class TestEquivalenceMatrix:
+    """``db.run`` == legacy executors across the full knob matrix."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_batched_facade_matches_legacy_batch_executor(
+        self, structures, method, kernel, shards, parallelism
+    ):
+        structure = structures(method, kernel, shards)
+        queries = [spec.to_query() for spec in _specs()]
+        legacy = BatchExecutor(
+            structure, parallelism=parallelism
+        ).run(queries)
+
+        db = Database.from_methods(
+            {method: structure},
+            ExecConfig(
+                filter_kernel=kernel, shards=shards, parallelism=parallelism,
+                mc_samples=N_SAMPLES, seed=SEED,
+            ),
+        )
+        result = db.run(_specs())
+
+        assert [r.object_ids for r in result] == [
+            a.object_ids for a in legacy.answers
+        ]
+        assert [r.stats.node_accesses for r in result] == [
+            a.stats.node_accesses for a in legacy.answers
+        ]
+        assert [r.method for r in result] == [method] * len(queries)
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_unbatched_facade_matches_legacy_query_executor(
+        self, structures, method, kernel, shards
+    ):
+        structure = structures(method, kernel, shards)
+        executor = QueryExecutor(structure)
+        legacy = [executor.execute(spec.to_query()) for spec in _specs()]
+
+        db = Database.from_methods(
+            {method: structure},
+            ExecConfig(
+                filter_kernel=kernel, shards=shards, batched=False,
+                memoize=False, dedupe_pages=False,
+                mc_samples=N_SAMPLES, seed=SEED,
+            ),
+        )
+        result = db.run(_specs())
+
+        for facade_result, answer in zip(result, legacy):
+            assert facade_result.object_ids == answer.object_ids
+            assert facade_result.stats.node_accesses == answer.stats.node_accesses
+            assert (
+                facade_result.stats.data_page_reads == answer.stats.data_page_reads
+            )
+
+    def test_created_database_matches_hand_built_structure(self):
+        """``Database.create`` wiring == constructing the tree by hand."""
+        objects = _objects()
+        db = Database.create(
+            objects, ExecConfig(mc_samples=N_SAMPLES, seed=SEED)
+        )
+        tree = UTree(2, estimator=_estimator())
+        for obj in objects:
+            tree.insert(obj)
+        for spec in _specs():
+            facade = db.query(spec)
+            direct = tree.query(spec.to_query())
+            assert facade.object_ids == direct.object_ids
+            assert facade.stats.node_accesses == direct.stats.node_accesses
+
+
+class TestPaperExactAccounting:
+    def test_paper_exact_reproduces_seed_counters(self):
+        """Node accesses, data pages and P_app counts match ``tree.query``."""
+        objects = _objects()
+        db = Database.create(
+            objects,
+            ExecConfig.paper_exact().with_options(
+                mc_samples=N_SAMPLES, seed=SEED
+            ),
+        )
+        seed_tree = UTree(2, estimator=_estimator(), filter_kernel="off")
+        for obj in objects:
+            seed_tree.insert(obj)
+
+        for spec in _specs():
+            facade = db.query(spec)
+            seed_answer = seed_tree.query(spec.to_query())
+            assert facade.object_ids == seed_answer.object_ids
+            fs, ss = facade.stats, seed_answer.stats
+            assert fs.node_accesses == ss.node_accesses
+            assert fs.data_page_reads == ss.data_page_reads
+            assert fs.prob_computations == ss.prob_computations
+            assert fs.validated_directly == ss.validated_directly
+            assert fs.pruned == ss.pruned
+            # Capacity-0 accounting: physical == logical, no cache hits.
+            assert fs.physical_reads == fs.node_accesses + fs.data_page_reads
+            assert fs.cache_hits == 0
+
+    def test_paper_exact_uses_scalar_filter_path(self):
+        db = Database.create(
+            _objects()[:10],
+            ExecConfig.paper_exact().with_options(mc_samples=400, seed=SEED),
+        )
+        assert db.access_method("utree").kernel is None
+
+
+class TestPlannerAndExplain:
+    @pytest.fixture(scope="class")
+    def db(self):
+        # Kernel pinned on: the CI matrix's REPRO_FILTER_KERNEL=off leg
+        # must not flip what this class asserts about explain().
+        return Database.create(
+            _objects(),
+            ExecConfig(mc_samples=N_SAMPLES, seed=SEED, filter_kernel="on"),
+            methods=("utree", "scan"),
+        )
+
+    def test_explain_prices_every_method(self, db):
+        explanation = db.explain(_specs()[0])
+        assert set(explanation.estimates) == {"utree", "scan"}
+        assert explanation.choice in ("utree", "scan")
+        assert explanation.shards == 1 and explanation.shard_probes == ()
+        assert explanation.filter_kernel is True
+        assert "estimated I/O" in explanation.summary()
+
+    def test_explain_does_not_execute(self, db):
+        io = db.access_method("utree").io
+        reads_before = io.reads
+        db.explain(_specs()[3])
+        assert db.access_method("utree").io.reads == reads_before
+
+    def test_explain_respects_pin(self, db):
+        assert db.explain(_specs()[0], method="scan").choice == "scan"
+        with pytest.raises(KeyError):
+            db.explain(_specs()[0], method="upcr")
+
+    def test_explain_rejects_nearest_specs(self, db):
+        with pytest.raises(TypeError):
+            db.explain(NearestSpec([0, 0]))
+
+    def test_planner_routing_answers_match_pins(self, db):
+        routed = db.run(_specs())
+        for spec, result in zip(_specs(), routed):
+            assert result.method in ("utree", "scan")
+            pinned = db.query(spec, method="utree")
+            assert result.sorted_ids() == pinned.sorted_ids()
+
+    def test_planner_prices_methods_populated_after_empty_create(self):
+        """Cost models are lazy: create([]) then insert still gets priced."""
+        db = Database.create(
+            [],
+            ExecConfig(mc_samples=400, seed=SEED, filter_kernel="on"),
+            methods=("utree", "scan"),
+            dim=2,
+        )
+        spec = _specs()[0]
+        assert all(
+            cost == float("inf") for cost in db.explain(spec).estimates.values()
+        )
+        for obj in _objects()[:15]:
+            db.insert(obj)
+        estimates = db.explain(spec).estimates
+        assert all(np.isfinite(cost) for cost in estimates.values())
+
+    def test_sharded_explain_reports_probe_plan(self):
+        db = Database.create(
+            _objects(),
+            ExecConfig(shards=4, mc_samples=N_SAMPLES, seed=SEED),
+        )
+        explanation = db.explain(_specs()[0])
+        assert explanation.shards == 4
+        assert len(explanation.shard_probes) + explanation.shards_pruned == 4
+        assert "shards: probe" in explanation.summary()
+
+
+class TestNearest:
+    def test_nearest_matches_direct_walk(self):
+        objects = _objects()
+        db = Database.create(objects, ExecConfig(mc_samples=N_SAMPLES, seed=SEED))
+        spec = NearestSpec([5000.0, 5000.0], k=3, rounds=400, seed=2)
+        facade = db.nearest(spec)
+        direct = probabilistic_nearest_neighbors(
+            db.access_method("utree"), np.array(spec.point), rounds=400, seed=2
+        )
+        assert facade.object_ids == [c.oid for c in direct.candidates[:3]]
+        assert facade.nn.node_accesses == direct.node_accesses
+        assert facade.stats.result_count == len(facade.object_ids)
+
+    def test_mixed_spec_batch_preserves_submission_order(self):
+        db = Database.create(_objects(), ExecConfig(mc_samples=N_SAMPLES, seed=SEED))
+        specs = [_specs()[0], NearestSpec([4000.0, 4000.0], rounds=200), _specs()[1]]
+        result = db.run(specs)
+        assert [type(r.spec) for r in result] == [RangeSpec, NearestSpec, RangeSpec]
+        assert result[1].nn is not None
+
+    def test_scan_only_database_rejects_nearest(self):
+        db = Database.create(
+            _objects()[:10],
+            ExecConfig(mc_samples=400, seed=SEED),
+            methods=("scan",),
+        )
+        with pytest.raises(ValueError, match="U-tree"):
+            db.nearest(NearestSpec([0.0, 0.0]))
+
+
+class TestUpdates:
+    def test_insert_delete_round_trip(self):
+        objects = _objects()
+        db = Database.create([], ExecConfig(mc_samples=400, seed=SEED), dim=2)
+        costs = [db.insert(obj) for obj in objects[:12]]
+        assert len(db) == 12
+        assert all(cost.io_total >= 0 for cost in costs)
+        assert db.delete(objects[0].oid) is not None
+        assert db.delete(999_999) is None
+        assert len(db) == 11
+
+
+class TestSaveOpen:
+    def test_monolithic_round_trip_preserves_answers_and_config(self, tmp_path):
+        config = ExecConfig(mc_samples=N_SAMPLES, seed=SEED, filter_kernel="on")
+        db = Database.create(_objects(), config)
+        path = tmp_path / "db.npz"
+        db.save(path)
+        reopened = Database.open(path)
+        assert reopened.config == config
+        assert len(reopened) == len(db)
+        for spec in _specs():
+            assert reopened.query(spec).sorted_ids() == db.query(spec).sorted_ids()
+
+    def test_sharded_round_trip_preserves_answers(self, tmp_path):
+        """The shapes serialize.py alone cannot round-trip, the facade can."""
+        config = ExecConfig(
+            shards=4, partitioner="hash", mc_samples=N_SAMPLES, seed=SEED
+        )
+        db = Database.create(_objects(), config, methods=("utree", "scan"))
+        path = tmp_path / "sharded.npz"
+        db.save(path)
+        reopened = Database.open(path)
+        assert reopened.config == config
+        assert reopened.method_names == ["utree", "scan"]
+        assert isinstance(reopened.access_method("utree"), ShardedAccessMethod)
+        assert reopened.access_method("utree").shard_count == 4
+        for spec in _specs():
+            for method in ("utree", "scan"):
+                assert (
+                    reopened.query(spec, method=method).sorted_ids()
+                    == db.query(spec, method=method).sorted_ids()
+                )
+
+    def test_open_honours_config_override(self, tmp_path):
+        db = Database.create(_objects(), ExecConfig(mc_samples=N_SAMPLES, seed=SEED))
+        path = tmp_path / "db.npz"
+        db.save(path)
+        reopened = Database.open(
+            path, ExecConfig(mc_samples=N_SAMPLES, seed=SEED, filter_kernel="off")
+        )
+        assert reopened.access_method("utree").kernel is None
+        assert (
+            reopened.query(_specs()[0]).sorted_ids()
+            == db.query(_specs()[0]).sorted_ids()
+        )
+
+    def test_monolithic_open_uses_fitted_archive_not_rebuild(self, tmp_path):
+        """Facade-saved U-trees reopen through load_utree (no CFB refits)."""
+        from repro.api import database as database_module
+
+        db = Database.create(_objects()[:12], ExecConfig(mc_samples=400, seed=SEED))
+        path = tmp_path / "db.npz"
+        db.save(path)
+        with np.load(path, allow_pickle=True) as archive:
+            # The fitted format: CFB stacks present, no descriptor table.
+            assert "outer" in archive and "descriptors" in archive
+            meta = __import__("json").loads(str(archive[database_module._META_KEY]))
+        assert meta["format"] == database_module._FORMAT_UTREE
+
+    def test_monolithic_round_trip_preserves_custom_catalog(self, tmp_path):
+        from repro.core.catalog import UCatalog
+
+        catalog = UCatalog.evenly_spaced(8)
+        db = Database.create(
+            _objects()[:12], ExecConfig(mc_samples=400, seed=SEED), catalog=catalog
+        )
+        path = tmp_path / "db.npz"
+        db.save(path)
+        reopened = Database.open(path)
+        assert reopened.access_method("utree").catalog == catalog
+
+    def test_sharded_round_trip_preserves_custom_catalog(self, tmp_path):
+        from repro.core.catalog import UCatalog
+
+        catalog = UCatalog.evenly_spaced(7)
+        db = Database.create(
+            _objects()[:12],
+            ExecConfig(shards=2, mc_samples=400, seed=SEED),
+            catalog=catalog,
+        )
+        path = tmp_path / "sharded.npz"
+        db.save(path)
+        reopened = Database.open(path)
+        assert reopened.access_method("utree").shards[0].catalog == catalog
+
+    def test_plain_save_utree_archive_opens_as_database(self, tmp_path):
+        objects = _objects()
+        tree = UTree(2, estimator=_estimator())
+        for obj in objects:
+            tree.insert(obj)
+        path = tmp_path / "plain.npz"
+        save_utree(tree, path)
+        db = Database.open(path, ExecConfig(mc_samples=N_SAMPLES, seed=SEED))
+        assert db.method_names == ["utree"]
+        spec = _specs()[0]
+        assert db.query(spec).sorted_ids() == sorted(
+            tree.query(spec.to_query()).object_ids
+        )
+
+    def test_save_utree_rejects_clashing_extra_keys(self, tmp_path):
+        tree = UTree(2, estimator=_estimator())
+        with pytest.raises(ValueError, match="clash"):
+            save_utree(tree, tmp_path / "x.npz", extra={"oids": "nope"})
+
+
+class TestStatsErgonomics:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        db = Database.create(
+            _objects(), ExecConfig(shards=4, mc_samples=N_SAMPLES, seed=SEED)
+        )
+        return db.run(_specs())
+
+    def test_query_stats_repr_and_summary(self, run_result):
+        stats = run_result[0].stats
+        assert "QueryStats(io=" in repr(stats)
+        assert "logical I/O" in stats.summary()
+
+    def test_batch_stats_repr_and_summary_table(self, run_result):
+        batch = run_result.batch
+        assert batch is not None
+        assert repr(batch).startswith("BatchStats(")
+        table = batch.summary()
+        assert "metric" in table and "P_app computed" in table
+        # The per-shard breakdown rides along as aligned rows.
+        assert "shard" in table and "probes" in table
+
+    def test_shard_stats_repr(self, run_result):
+        shard_stats = run_result.batch.shard_stats
+        assert shard_stats
+        assert repr(shard_stats[0]).startswith("ShardStats(#0")
+
+    def test_run_result_summary_is_one_aligned_table(self, run_result):
+        text = run_result.summary()
+        lines = text.splitlines()
+        assert lines[0].split()[:3] == ["#", "spec", "method"]
+        # Header, rule and one row per spec, all equally wide.
+        assert len({len(line) for line in lines[: 2 + len(run_result)]}) == 1
+
+    def test_database_repr_and_summary(self):
+        db = Database.create(
+            _objects()[:10], ExecConfig(mc_samples=400, seed=SEED)
+        )
+        assert repr(db).startswith("Database(methods=['utree']")
+        assert "utree: 10 objects" in db.summary()
+
+
+class TestBuildDatabaseGlue:
+    def test_monolithic_pool_capacity_is_wired(self):
+        """A non-sharded pool_capacity must attach a real buffer pool."""
+        from repro.experiments.config import Scale
+        from repro.experiments.data import build_database, clear_caches
+
+        micro = Scale(
+            name="micro-pool",
+            lb_objects=100,
+            ca_objects=100,
+            aircraft_objects=100,
+            queries_per_workload=2,
+            mc_samples=400,
+        )
+        clear_caches()
+        try:
+            db = build_database(
+                "LB", micro, methods=("utree",),
+                config=ExecConfig(pool_capacity=256),
+            )
+            assert db.access_method("utree").pool is not None
+            assert db.config.pool_capacity == 256
+        finally:
+            clear_caches()
+
+
+class TestReproducibleSweeps:
+    def test_clear_memos_makes_repeated_runs_report_identical_counters(self):
+        db = Database.create(_objects(), ExecConfig(mc_samples=400, seed=SEED))
+        first = db.run(_specs())
+        db.clear_memos()
+        second = db.run(_specs())
+        assert [r.sorted_ids() for r in first] == [r.sorted_ids() for r in second]
+        assert [r.stats.prob_computations for r in first] == [
+            r.stats.prob_computations for r in second
+        ]
+
+    def test_fig_run_counters_are_reproducible_under_batched_config(self):
+        from repro.experiments.config import Scale
+        from repro.experiments.data import clear_caches
+        from repro.experiments import fig10
+
+        micro = Scale(
+            name="micro-memo",
+            lb_objects=100,
+            ca_objects=100,
+            aircraft_objects=100,
+            queries_per_workload=2,
+            mc_samples=400,
+        )
+        clear_caches()
+        try:
+            config = ExecConfig(batched=True)
+            kwargs = dict(datasets=("LB",), pq_values=(0.3, 0.7), config=config)
+            first = fig10.run(micro, **kwargs)
+            second = fig10.run(micro, **kwargs)
+            assert (
+                first["LB"]["utree"]["prob_computations"]
+                == second["LB"]["utree"]["prob_computations"]
+            )
+        finally:
+            clear_caches()
+
+    def test_mixed_batch_observes_range_stats_only(self):
+        db = Database.create(
+            _objects(),
+            ExecConfig(mc_samples=400, seed=SEED),
+            methods=("utree", "scan"),
+        )
+        range_only = db.run(_specs())
+        calibrated = db.planner.data_records_per_page
+        db.run([_specs()[0], NearestSpec([4000.0, 4000.0], rounds=3000)])
+        mixed = db.run([_specs()[0]])
+        # The NN walk's counters must not have skewed the packing EWMA
+        # beyond what the range spec alone would have contributed.
+        db2 = Database.create(
+            _objects(),
+            ExecConfig(mc_samples=400, seed=SEED),
+            methods=("utree", "scan"),
+        )
+        db2.run(_specs())
+        db2.run([_specs()[0]])
+        db2.run([_specs()[0]])
+        assert db.planner.data_records_per_page == pytest.approx(
+            db2.planner.data_records_per_page
+        )
+        assert range_only is not None and mixed is not None
+        assert calibrated > 0
+
+
+class TestDeprecationShims:
+    def test_unknown_harness_knob_raises_type_error(self):
+        from repro.experiments.harness import config_from_knobs
+
+        with pytest.raises(TypeError, match="unknown harness knobs"):
+            config_from_knobs(None, shard=4)  # typo for shards=
+
+    def test_run_workload_batched_warns_and_still_works(self):
+        from repro.experiments.harness import run_workload_batched
+
+        structure = _legacy_structure("utree", "on", 1)
+        queries = [spec.to_query() for spec in _specs()[:2]]
+        with pytest.warns(DeprecationWarning, match="Database.run"):
+            stats = run_workload_batched(structure, queries)
+        assert stats.count == 2
+
+    def test_config_from_knobs_folds_and_warns(self):
+        from repro.experiments.harness import config_from_knobs
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            config = config_from_knobs(
+                None, shards=4, partitioner="hash", filter_kernel="off"
+            )
+        assert config.shards == 4
+        assert config.partitioner == "hash"
+        assert config.filter_kernel == "off"
+        assert not config.batched  # the harness default stays paper-style
+
+    def test_config_from_knobs_drops_parallelism_in_unbatched_runs(self):
+        """The old signatures ignored parallelism outside batched mode."""
+        from repro.experiments.harness import config_from_knobs
+
+        with pytest.warns(DeprecationWarning):
+            config = config_from_knobs(None, parallelism=4)
+        assert not config.batched and config.parallelism == 1
+        with pytest.warns(DeprecationWarning):
+            config = config_from_knobs(None, batched=True, parallelism=4)
+        assert config.batched and config.parallelism == 4
+
+    def test_config_from_knobs_passthrough_is_silent(self):
+        from repro.experiments.harness import config_from_knobs
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = config_from_knobs(ExecConfig(shards=2))
+        assert config.shards == 2
+
+    def test_fig_harness_legacy_knobs_fold_into_config(self):
+        from repro.experiments.config import Scale
+        from repro.experiments.data import clear_caches
+        from repro.experiments import fig9
+
+        clear_caches()
+        micro = Scale(
+            name="micro-api",
+            lb_objects=120,
+            ca_objects=120,
+            aircraft_objects=120,
+            queries_per_workload=2,
+            mc_samples=600,
+        )
+        try:
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                result = fig9.run(
+                    micro, datasets=("LB",), qs_values=(800.0,), shards=2
+                )
+            assert "shards=2" in result["LB"]["config"]
+        finally:
+            clear_caches()

@@ -15,7 +15,7 @@ parametrised executor tests (the CI matrix leg pins it to 4).
 
 from __future__ import annotations
 
-import os
+from repro.env import env_int
 
 import numpy as np
 import pytest
@@ -50,9 +50,10 @@ from repro.uncertainty.regions import BallRegion, BoxRegion
 N_SAMPLES = 1500
 FAMILIES = ("uniform", "congau", "histogram", "radial", "mixture")
 PARTITIONERS = ("str", "hash")
-PARALLELISMS = tuple(
-    sorted({1, int(os.environ.get("REPRO_SHARD_PARALLELISM", "4"))})
-)
+# The thread-pool width comes through the package's single env-resolution
+# point (the CI matrix leg sets REPRO_SHARD_PARALLELISM); default 4 so the
+# parallel path is always exercised locally.
+PARALLELISMS = tuple(sorted({1, env_int("REPRO_SHARD_PARALLELISM", 4)}))
 
 
 def _estimator() -> AppearanceEstimator:
