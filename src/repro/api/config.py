@@ -34,6 +34,7 @@ from repro.uncertainty.montecarlo import AppearanceEstimator
 __all__ = ["ExecConfig"]
 
 _PARTITIONER_NAMES = ("str", "hash")
+_EXECUTOR_NAMES = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,13 @@ class ExecConfig:
             :class:`~repro.exec.batch.BatchExecutor`; ``False`` executes
             query-at-a-time through the plain executor (the paper's
             accounting).
-        parallelism: executor worker threads (1 = exact serial path).
+        parallelism: executor workers (1 = exact serial path) — threads
+            for the default backend, forked processes for
+            ``executor="process"``.
+        executor: batch backend, ``"thread"`` (default; covers the
+            serial path) or ``"process"`` (forked per-shard workers over
+            shared-memory columns — see :mod:`repro.exec.mpexec`).
+            Environment default via ``REPRO_EXECUTOR``.
         memoize: share ``(address, rect)`` P_app results across queries.
         dedupe_pages: fetch each candidate data page once per batch.
         io_latency_seconds: simulated per-page latency for the parallel
@@ -73,6 +80,7 @@ class ExecConfig:
     prune: bool = True
     batched: bool = True
     parallelism: int = 1
+    executor: str = "thread"
     memoize: bool = True
     dedupe_pages: bool = True
     io_latency_seconds: float = 0.0
@@ -97,6 +105,16 @@ class ExecConfig:
             raise ValueError(
                 "parallelism > 1 requires batched=True (the per-query "
                 "executor is strictly serial)"
+            )
+        if self.executor not in _EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"pick one of {_EXECUTOR_NAMES}"
+            )
+        if self.executor == "process" and not self.batched:
+            raise ValueError(
+                "executor='process' requires batched=True (the process "
+                "pool is a batch backend)"
             )
         if self.io_latency_seconds < 0:
             raise ValueError("io_latency_seconds must be non-negative")
@@ -129,6 +147,9 @@ class ExecConfig:
         if kernel is not None:
             fields["filter_kernel"] = kernel
         fields["parallelism"] = repro_env.env_int("REPRO_SHARD_PARALLELISM", 1)
+        executor = repro_env.env_value("REPRO_EXECUTOR")
+        if executor is not None and executor.strip():
+            fields["executor"] = executor.strip().lower()
         fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
         fields.update(overrides)
         return cls(**fields)

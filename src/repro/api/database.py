@@ -40,7 +40,13 @@ from repro.core.stats import QueryStats, WorkloadStats
 from repro.exec.access import AccessMethod
 from repro.exec.batch import BatchExecutor, BatchStats
 from repro.exec.executor import QueryExecutor
-from repro.exec.planner import Planner, ScanCostModel, derive_data_records_per_page
+from repro.exec.mpexec import ProcessBatchExecutor
+from repro.exec.planner import (
+    PlannedQuery,
+    Planner,
+    ScanCostModel,
+    derive_data_records_per_page,
+)
 from repro.exec.shard import ShardedAccessMethod
 from repro.storage.bufferpool import BufferPool
 from repro.uncertainty.objects import UncertainObject
@@ -148,6 +154,11 @@ class Explanation:
     batched: bool
     parallelism: int
     data_records_per_page: float
+    executor: str = "thread"
+    # Process backend only: the worker owning each shard (shard i on
+    # worker_layout[i]); empty for the thread backend or a monolithic
+    # choice, where work round-robins instead of following ownership.
+    worker_layout: tuple[int, ...] = ()
 
     def summary(self) -> str:
         lines = [f"{type(self.spec).__name__} -> {self.choice!r}"]
@@ -162,9 +173,11 @@ class Explanation:
                 f"({self.shards_pruned} pruned)"
             )
         mode = (
-            f"batched, parallelism={self.parallelism}" if self.batched
+            f"batched, {self.executor} x{self.parallelism}" if self.batched
             else "per-query serial"
         )
+        if self.worker_layout:
+            mode += f", shard->worker {list(self.worker_layout)}"
         lines.append(
             f"  filter kernel: {'on' if self.filter_kernel else 'off'} | {mode} | "
             f"calibration: {self.data_records_per_page:.2f} records/page"
@@ -493,29 +506,65 @@ class Database:
             "nearest-neighbour search needs a U-tree"
         )
 
-    def _choose(self, spec: QuerySpec, pinned: str | None) -> str:
+    def _choose(
+        self, spec: QuerySpec, pinned: str | None
+    ) -> tuple[str, PlannedQuery | None]:
+        """The method for one spec, plus the plan when the planner chose.
+
+        The decision rides along so :meth:`run` can feed the executed
+        cost back into the planner's per-method bias
+        (:meth:`~repro.exec.planner.Planner.observe_choice`).
+        """
         if isinstance(spec, NearestSpec):
-            return self._pick_nn_method(pinned)
+            return self._pick_nn_method(pinned), None
         if pinned is not None:
             if pinned not in self._methods:
                 raise KeyError(
                     f"method {pinned!r} is not registered (have {self.method_names})"
                 )
-            return pinned
+            return pinned, None
         if len(self._methods) == 1:
-            return next(iter(self._methods))
-        return self.planner.plan(spec.to_query()).choice
+            return next(iter(self._methods)), None
+        decision = self.planner.plan(spec.to_query())
+        return decision.choice, decision
 
     def _batch_executor(self, name: str) -> BatchExecutor:
         if name not in self._batch_executors:
-            self._batch_executors[name] = BatchExecutor(
-                self._methods[name],
-                memoize=self.config.memoize,
-                dedupe_pages=self.config.dedupe_pages,
-                parallelism=self.config.parallelism,
-                io_latency_seconds=self.config.io_latency_seconds,
-            )
+            if self.config.executor == "process":
+                self._batch_executors[name] = ProcessBatchExecutor(
+                    self._methods[name],
+                    workers=self.config.parallelism,
+                    memoize=self.config.memoize,
+                    dedupe_pages=self.config.dedupe_pages,
+                    io_latency_seconds=self.config.io_latency_seconds,
+                )
+            else:
+                self._batch_executors[name] = BatchExecutor(
+                    self._methods[name],
+                    memoize=self.config.memoize,
+                    dedupe_pages=self.config.dedupe_pages,
+                    parallelism=self.config.parallelism,
+                    io_latency_seconds=self.config.io_latency_seconds,
+                )
         return self._batch_executors[name]
+
+    def close(self) -> None:
+        """Release executor resources (the process backend's worker pool).
+
+        Idempotent, and the database stays usable — the next batch under
+        ``executor="process"`` simply re-forks its pool.  The thread
+        backend holds no persistent workers, so this is a no-op there.
+        """
+        for executor in self._batch_executors.values():
+            closer = getattr(executor, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _query_executor(self, name: str) -> QueryExecutor:
         if name not in self._query_executors:
@@ -584,7 +633,8 @@ class Database:
                 raise TypeError(
                     f"specs must be RangeSpec or NearestSpec, got {type(spec).__name__}"
                 )
-        choices = [self._choose(spec, method) for spec in specs]
+        decisions = [self._choose(spec, method) for spec in specs]
+        choices = [choice for choice, _ in decisions]
         out = RunResult()
         slots: list[Result | None] = [None] * len(specs)
 
@@ -624,10 +674,22 @@ class Database:
             # Calibrate from range-spec stats only: NN results carry
             # walk counters with different semantics (objects_examined
             # in prob_computations) that would skew the packing EWMA.
+            # Planner-routed specs additionally feed their observed cost
+            # into the per-method bias, so a method whose model flatters
+            # it (the sharded regression BENCH_shard exposed) loses
+            # future plans to what actually ran cheaper.
             range_stats = WorkloadStats()
-            for result in out.results:
-                if isinstance(result.spec, RangeSpec):
-                    range_stats.add(result.stats)
+            for i, result in enumerate(slots):
+                if result is None or not isinstance(result.spec, RangeSpec):
+                    continue
+                range_stats.add(result.stats)
+                decision = decisions[i][1]
+                if decision is not None:
+                    self.planner.observe_choice(
+                        result.method,
+                        decision.raw_estimates.get(result.method, 0.0),
+                        result.stats.node_accesses + result.stats.data_page_reads,
+                    )
             self.planner.observe(range_stats)
         return out
 
@@ -672,6 +734,11 @@ class Database:
             probes = ()
             shards = 1
             pruned = 0
+        layout: tuple[int, ...] = ()
+        if self.config.executor == "process" and shards > 1:
+            layout = tuple(
+                shard_id % self.config.parallelism for shard_id in range(shards)
+            )
         return Explanation(
             spec=spec,
             choice=choice,
@@ -683,6 +750,8 @@ class Database:
             batched=self.config.batched,
             parallelism=self.config.parallelism,
             data_records_per_page=self.planner.data_records_per_page,
+            executor=self.config.executor,
+            worker_layout=layout,
         )
 
     # ------------------------------------------------------------------

@@ -198,6 +198,23 @@ class _ColumnarKernel:
         self.mbr_lo = self._grown(self.mbr_lo, capacity)
         self.mbr_hi = self._grown(self.mbr_hi, capacity)
 
+    def _shared_columns(self) -> tuple[str, ...]:
+        """Attribute names of the geometry columns worth sharing."""
+        return ("mbr_lo", "mbr_hi")
+
+    def rebind_columns(self, share) -> None:
+        """Move every geometry column's buffer via ``share(array)``.
+
+        The process executor passes
+        :meth:`repro.storage.shm.SharedArena.share_array` so the columns
+        land in shared anonymous mappings before the worker fork.  The
+        rebound arrays are bit-identical; any later ``_resize`` simply
+        reallocates back onto the private heap, which the executor
+        detects as staleness and re-shares on the next fork.
+        """
+        for name in self._shared_columns():
+            setattr(self, name, share(getattr(self, name)))
+
     def _take_row(self) -> int:
         if self._free:
             return self._free.pop()
@@ -348,6 +365,9 @@ class CFBFilterKernel(_ColumnarKernel):
         "in_lo_icpt", "in_lo_slope", "in_hi_icpt", "in_hi_slope",
     )
 
+    def _shared_columns(self) -> tuple[str, ...]:
+        return super()._shared_columns() + self._FACE_COLUMNS
+
     def _row_bytes(self) -> int:
         return filter_kernel_row_bytes(self.dim)
 
@@ -455,6 +475,9 @@ class PCRFilterKernel(_ColumnarKernel):
         super().__init__(catalog, dim)
         self.pcr_lo = np.empty((0, catalog.size, dim))
         self.pcr_hi = np.empty((0, catalog.size, dim))
+
+    def _shared_columns(self) -> tuple[str, ...]:
+        return super()._shared_columns() + ("pcr_lo", "pcr_hi")
 
     def _row_bytes(self) -> int:
         return filter_kernel_row_bytes(self.dim, self.catalog.size)

@@ -35,12 +35,14 @@ ENV_PREFIX = "REPRO_"
 KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_FILTER_KERNEL": "vectorized filter kernel on/off (ExecConfig.filter_kernel)",
     "REPRO_SHARD_PARALLELISM": "executor thread-pool width (ExecConfig.parallelism)",
+    "REPRO_EXECUTOR": "batch backend thread|process (ExecConfig.executor)",
     "REPRO_FULL_SCALE": "paper-scale experiment parameters (ExecConfig.full_scale)",
     "REPRO_SKIP_PERF_ASSERT": "skip wall-clock perf contracts (CI correctness matrix)",
     "REPRO_BENCH_SAMPLES": "Monte-Carlo budget for benchmark smoke runs",
     "REPRO_BENCH_ARTIFACT": "refinement-engine benchmark artifact path",
     "REPRO_SHARD_ARTIFACT": "shard-scaling benchmark artifact path",
     "REPRO_FILTER_ARTIFACT": "filter-kernel benchmark artifact path",
+    "REPRO_MULTICORE_ARTIFACT": "multicore benchmark artifact path",
 }
 
 _TRUE_WORDS = ("1", "true", "yes", "on")

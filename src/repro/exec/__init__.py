@@ -28,7 +28,13 @@ accounting reproduces the paper's uncached numbers exactly.
 """
 
 from repro.exec.access import AccessMethod, FilterResult
-from repro.exec.batch import BatchExecutor, BatchResult, BatchStats
+from repro.exec.batch import (
+    SERIAL_FALLBACK_SAMPLE_OPS,
+    BatchExecutor,
+    BatchResult,
+    BatchStats,
+)
+from repro.exec.mpexec import ProcessBatchExecutor, WorkerError
 from repro.exec.executor import (
     QueryExecutor,
     execute_query,
@@ -62,9 +68,12 @@ __all__ = [
     "PlanReport",
     "PlannedQuery",
     "Planner",
+    "ProcessBatchExecutor",
     "QueryExecutor",
     "RefinementEngine",
+    "SERIAL_FALLBACK_SAMPLE_OPS",
     "ScanCostModel",
+    "WorkerError",
     "ShardRouter",
     "ShardedAccessMethod",
     "derive_data_records_per_page",

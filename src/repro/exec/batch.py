@@ -70,7 +70,12 @@ from repro.exec.refine import RefinementEngine, refine_with_engine
 from repro.geometry.rect import Rect
 from repro.storage.pager import DiskAddress
 
-__all__ = ["BatchExecutor", "BatchResult", "BatchStats"]
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "SERIAL_FALLBACK_SAMPLE_OPS",
+]
 
 # Queries per sharded filter task in parallel mode: large enough to
 # amortise task dispatch over a shard's warm walk, small enough that an
@@ -79,6 +84,16 @@ __all__ = ["BatchExecutor", "BatchResult", "BatchStats"]
 # the group's last member).
 _PROBE_CHUNK = 4
 
+# Batches whose estimated Monte-Carlo volume (queries x samples) falls
+# below this run serially even when parallelism > 1: thread dispatch
+# overhead exceeds the overlap it buys (the BENCH_shard wall-clock
+# inversion — 758 qps parallel vs 857 serial on a 48-query batch).
+# Calibrated so that workload (48 x 4000 = 192k sample-ops) falls back
+# while latency-bound or genuinely heavy batches still fan out.  Only
+# zero-latency batches are eligible: simulated disk latency is exactly
+# the case the fetch/refine overlap exists for.
+SERIAL_FALLBACK_SAMPLE_OPS = 250_000
+
 
 @dataclass
 class BatchStats:
@@ -86,6 +101,11 @@ class BatchStats:
 
     queries: int = 0
     parallelism: int = 1
+    # Which backend executed the batch ("thread" covers the serial path
+    # too — one thread), and whether a parallel-configured executor chose
+    # the serial path for a batch below the fallback work threshold.
+    executor: str = "thread"
+    serial_fallback: bool = False
     # Sharded execution (zero / empty for monolithic methods): shard
     # count, per-shard filter probes actually executed, probes the
     # router pruned, and the per-shard cost breakdown.  Per-phase
@@ -209,6 +229,13 @@ class BatchExecutor:
             the parallel fetch thread (the overlap the thread pool buys).
             Ignored in serial mode, where latency is accounted
             analytically by the harness.
+        serial_fallback_threshold: minimum estimated Monte-Carlo volume
+            (``len(queries) * estimator.n_samples``) for a zero-latency
+            batch to actually fan out when ``parallelism > 1``; smaller
+            batches run the serial path (identical answers *and*
+            counters, ``BatchStats.serial_fallback`` set).  ``0``
+            disables the fallback; ``None`` uses
+            :data:`SERIAL_FALLBACK_SAMPLE_OPS`.
     """
 
     def __init__(
@@ -220,17 +247,25 @@ class BatchExecutor:
         engine: RefinementEngine | None = None,
         parallelism: int = 1,
         io_latency_seconds: float = 0.0,
+        serial_fallback_threshold: int | None = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be at least 1")
         if io_latency_seconds < 0:
             raise ValueError("io_latency_seconds must be non-negative")
+        if serial_fallback_threshold is not None and serial_fallback_threshold < 0:
+            raise ValueError("serial_fallback_threshold must be non-negative")
         self.method = method
         self.memoize = memoize
         self.dedupe_pages = dedupe_pages
         self.engine = engine if engine is not None else RefinementEngine.for_method(method)
         self.parallelism = int(parallelism)
         self.io_latency_seconds = float(io_latency_seconds)
+        self.serial_fallback_threshold = (
+            SERIAL_FALLBACK_SAMPLE_OPS
+            if serial_fallback_threshold is None
+            else int(serial_fallback_threshold)
+        )
         self._prob_memo: dict[tuple[DiskAddress, Rect], float] = {}
 
     def clear_memo(self) -> None:
@@ -332,7 +367,31 @@ class BatchExecutor:
         """Execute the whole workload, amortising page fetches and P_app."""
         if self.parallelism == 1:
             return self._run_serial(queries)
+        if self._below_fallback_threshold(queries):
+            # Tiny batch: thread dispatch would cost more than it
+            # overlaps.  The serial path gives identical answers and
+            # exact counters; report the configured width plus the flag
+            # so callers can see the path taken.
+            result = self._run_serial(queries)
+            result.batch.parallelism = self.parallelism
+            result.batch.serial_fallback = True
+            return result
         return self._run_parallel(queries)
+
+    def _below_fallback_threshold(self, queries: Sequence[ProbRangeQuery]) -> bool:
+        """Whether this batch is too small to be worth fanning out.
+
+        Only zero-latency batches are eligible — with simulated disk
+        latency the fetch/refine overlap is the whole point, however
+        small the batch.  Work is estimated as Monte-Carlo sample-ops:
+        queries times the estimator's per-object sample count.
+        """
+        if self.io_latency_seconds > 0.0 or self.serial_fallback_threshold <= 0:
+            return False
+        n_samples = getattr(
+            getattr(self.method, "estimator", None), "n_samples", 0
+        )
+        return len(queries) * n_samples < self.serial_fallback_threshold
 
     # ------------------------------------------------------------------
     # serial path: the exact-accounting reference

@@ -100,11 +100,18 @@ def derive_data_records_per_page(method) -> float:
 
 @dataclass(frozen=True)
 class PlannedQuery:
-    """One planning decision: the chosen method and every method's price."""
+    """One planning decision: the chosen method and every method's price.
+
+    ``estimates`` are the *bias-corrected* prices the choice was made
+    from; ``raw_estimates`` keep the uncorrected model outputs so
+    feedback (:meth:`Planner.observe_choice`) can compare an execution
+    against the raw model without compounding its own correction.
+    """
 
     query: ProbRangeQuery
     choice: str
     estimates: dict[str, float]
+    raw_estimates: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -151,6 +158,13 @@ class Planner:
         self.data_records_per_page = float(data_records_per_page)
         self.auto_observe = bool(auto_observe)
         self.observations = 0
+        # Per-method multiplicative correction: EWMA of observed/predicted
+        # total-I/O ratios.  Analytical models are systematically off for
+        # some shapes (the sharded router prices probes but not the probe
+        # overhead that made BENCH_shard's sharded U-tree do 183 node
+        # accesses against the monolithic 143), and the ratio feedback is
+        # what lets the shards-vs-monolithic choice self-correct.
+        self._bias: dict[str, float] = {}
 
     def register(self, name: str, method: AccessMethod, cost_fn) -> None:
         """Add a method under ``name`` with cost model ``cost_fn(query)``."""
@@ -280,10 +294,45 @@ class Planner:
         return planner
 
     def price(self, name: str, query: ProbRangeQuery) -> float:
-        """One registered method's cost estimate for ``query``."""
+        """One registered method's *raw* cost estimate for ``query``."""
         if name not in self._cost_fns:
             raise KeyError(f"method {name!r} is not registered")
         return float(self._cost_fns[name](query))
+
+    def bias(self, name: str) -> float:
+        """The method's learnt observed/predicted ratio (1.0 untrained)."""
+        return self._bias.get(name, 1.0)
+
+    def observe_choice(
+        self,
+        name: str,
+        predicted_raw: float,
+        observed_io: float,
+        *,
+        smoothing: float = 0.5,
+    ) -> float:
+        """Blend one executed query's observed/raw-predicted I/O ratio.
+
+        ``predicted_raw`` must be the **raw** model output
+        (:attr:`PlannedQuery.raw_estimates`), not the bias-corrected
+        price — feeding the corrected price back would compound the
+        correction every observation.  The ratio is clamped to
+        ``[1/16, 16]`` so one degenerate query (an empty answer priced
+        near zero) cannot blow the EWMA up.  Returns the updated bias.
+        """
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if name not in self._cost_fns:
+            raise KeyError(f"method {name!r} is not registered")
+        if (
+            not np.isfinite(predicted_raw)
+            or predicted_raw <= 0
+            or observed_io < 0
+        ):
+            return self.bias(name)
+        ratio = min(max(observed_io / predicted_raw, 1.0 / 16.0), 16.0)
+        self._bias[name] = (1.0 - smoothing) * self.bias(name) + smoothing * ratio
+        return self._bias[name]
 
     def observe(self, stats: WorkloadStats, *, smoothing: float = 0.5) -> float:
         """Refine the calibrated constants from an executed workload.
@@ -311,14 +360,22 @@ class Planner:
 
     # ------------------------------------------------------------------
     def plan(self, query: ProbRangeQuery) -> PlannedQuery:
-        """Price the query under every model; pick the cheapest method."""
+        """Price the query under every model; pick the cheapest method.
+
+        Prices are the raw model outputs scaled by each method's learnt
+        bias (:meth:`observe_choice`); with no feedback yet every bias is
+        1.0 and the plan is the raw comparison.
+        """
         if not self._methods:
             raise RuntimeError("no access methods registered")
-        estimates = {
+        raw = {
             name: float(self._cost_fns[name](query)) for name in self._methods
         }
+        estimates = {name: cost * self.bias(name) for name, cost in raw.items()}
         choice = min(estimates, key=lambda name: estimates[name])
-        return PlannedQuery(query=query, choice=choice, estimates=estimates)
+        return PlannedQuery(
+            query=query, choice=choice, estimates=estimates, raw_estimates=raw
+        )
 
     def execute(self, query: ProbRangeQuery) -> tuple[QueryAnswer, PlannedQuery]:
         """Plan one query and run it on the chosen method."""
@@ -343,4 +400,10 @@ class Planner:
         report.wall_seconds = time.perf_counter() - start
         if self.auto_observe:
             self.observe(report.workload)
+            for answer, decision in zip(report.answers, report.decisions):
+                self.observe_choice(
+                    decision.choice,
+                    decision.raw_estimates.get(decision.choice, 0.0),
+                    answer.stats.node_accesses + answer.stats.data_page_reads,
+                )
         return report

@@ -2,7 +2,15 @@
 
 from repro.storage.bufferpool import BufferPool
 from repro.storage.layout import NodeLayout, rstar_layout, upcr_layout, utree_layout
-from repro.storage.pager import DEFAULT_PAGE_SIZE, DataFile, DiskAddress, IOCounter, PageStore
+from repro.storage.pager import (
+    DEFAULT_PAGE_SIZE,
+    DataFile,
+    DataFileView,
+    DiskAddress,
+    IOCounter,
+    PageStore,
+)
+from repro.storage.shm import SharedArena
 
 # NOTE: repro.storage.serialize is intentionally NOT imported here — it
 # depends on repro.core (which itself imports repro.storage.pager) and an
@@ -14,10 +22,12 @@ __all__ = [
     "BufferPool",
     "DEFAULT_PAGE_SIZE",
     "DataFile",
+    "DataFileView",
     "DiskAddress",
     "IOCounter",
     "NodeLayout",
     "PageStore",
+    "SharedArena",
     "rstar_layout",
     "upcr_layout",
     "utree_layout",

@@ -14,6 +14,7 @@ faithful, while payloads stay live Python objects for speed.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,6 +26,7 @@ __all__ = [
     "IOCounter",
     "DiskAddress",
     "DataFile",
+    "DataFileView",
     "PageStore",
 ]
 
@@ -255,6 +257,87 @@ class DataFile:
     def size_bytes(self) -> int:
         """Total file size: pages are the allocation unit."""
         return self.page_count * self.page_size
+
+    def peek_page(self, page_id: int) -> list[Any]:
+        """Every record on a page without charging any I/O.
+
+        Out-of-band access only (serialisation, worker prewarm) — query
+        execution must go through :meth:`read_page`.
+        """
+        return list(self._pages[page_id].payloads)
+
+    def reader_view(
+        self, *, io: IOCounter | None = None, latency_seconds: float = 0.0
+    ) -> "DataFileView":
+        """A read-only view with private accounting (see :class:`DataFileView`)."""
+        return DataFileView(self, io=io, latency_seconds=latency_seconds)
+
+
+class DataFileView:
+    """A read-only reader over a :class:`DataFile` with private accounting.
+
+    The process executor gives each worker one of these over the (fork-
+    inherited) data file: reads charge the *view's* counter — merged back
+    into batch totals by the parent — and apply the worker's simulated
+    per-page latency, without touching the shared file's counter or
+    buffer pool.  No pool is attached by design: each worker models its
+    own disk arm, and the paper-exact accounting the process backend
+    reproduces is the uncached (``pool_capacity=0``) one.
+
+    Mutating methods are deliberately absent; the parent is the only
+    writer, and it re-forks the pool whenever the file grows.
+    """
+
+    def __init__(
+        self,
+        base: DataFile,
+        *,
+        io: IOCounter | None = None,
+        latency_seconds: float = 0.0,
+    ):
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        self.base = base
+        self.io = io if io is not None else IOCounter()
+        self.latency_seconds = float(latency_seconds)
+        self.page_size = base.page_size
+
+    def _charge(self) -> None:
+        self.io.record_read()
+        if self.latency_seconds > 0.0:
+            time.sleep(self.latency_seconds)
+
+    def read(self, address: DiskAddress) -> Any:
+        """Fetch one record, costing one page read on the view's counter."""
+        self._charge()
+        return self.base._pages[address.page_id].payloads[address.slot]
+
+    def read_page(self, page_id: int) -> list[Any]:
+        """Fetch every record on a page with one (view-charged) page read."""
+        self._charge()
+        return list(self.base._pages[page_id].payloads)
+
+    def peek(self, address: DiskAddress) -> Any:
+        """Fetch one record without charging any I/O."""
+        return self.base.peek(address)
+
+    @property
+    def page_count(self) -> int:
+        return self.base.page_count
+
+    @property
+    def record_count(self) -> int:
+        return self.base.record_count
+
+    @property
+    def records_per_page(self) -> float:
+        return self.base.records_per_page
+
+    def __repr__(self) -> str:
+        return (
+            f"DataFileView(pages={self.page_count}, io={self.io!r}, "
+            f"latency={self.latency_seconds})"
+        )
 
 
 class PageStore:

@@ -1,0 +1,99 @@
+"""Shared-memory placement for the process executor's hot read-only state.
+
+The multiprocess backend (:mod:`repro.exec.mpexec`) forks one worker per
+shard / chunk group.  Fork gives every worker a copy-on-write view of the
+parent heap, which is already cheap — but Python object headers are
+write-hot (every refcount bump dirties the page they live on), so pure
+COW slowly privatises whatever the workers touch.  The *numeric* hot
+state has no such problem once its buffers are moved out of the
+refcounted heap: this module copies NumPy arrays into anonymous
+``MAP_SHARED`` mappings (``mmap.mmap(-1, nbytes)``) **before** the fork,
+so every worker reads the same physical pages forever, zero-copy and
+with nothing pickled.
+
+Anonymous shared mappings are the fork-native flavour of
+``multiprocessing.shared_memory``: same kernel mechanism (shared
+anonymous pages instead of a named ``/dev/shm`` segment), but with no
+name to leak, no resource tracker to appease and automatic reclamation
+when the last process unmaps.  The trade-off is that attachment happens
+only by inheritance — exactly the lifecycle of a fork-based pool, which
+creates its arena, shares the hot arrays, then forks.
+
+What goes in the arena (see ``ARCHITECTURE.md``):
+
+* the columnar filter-kernel sidecars (CFB face coefficients / PCR
+  planes / MBR columns) via ``_ColumnarKernel.rebind_columns``;
+* prewarmed :class:`~repro.uncertainty.montecarlo.SampleCache` clouds
+  via ``SampleCache.rebind_resident``.
+
+Data-file *payload* pages hold live Python objects and cannot move into
+flat buffers; they stay fork-inherited COW (read-only access keeps them
+physically shared in practice).
+"""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+
+__all__ = ["SharedArena"]
+
+
+class SharedArena:
+    """A pool of anonymous shared mappings backing rebound NumPy arrays.
+
+    :meth:`share_array` copies one array into a fresh ``MAP_SHARED``
+    anonymous mapping and returns an equal ndarray viewing it; callers
+    rebind their attribute to the returned array before forking workers.
+    The arena keeps every mapping alive until :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        self._maps: list[mmap.mmap] = []
+        self.arrays_shared = 0
+        self.bytes_shared = 0
+        self._closed = False
+
+    def share_array(self, array: np.ndarray) -> np.ndarray:
+        """An equal array whose buffer lives in a shared anonymous mapping.
+
+        Empty arrays are returned unchanged (``mmap`` rejects length 0,
+        and there is nothing to share).  The copy preserves dtype and
+        shape; values are bit-identical.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            return array
+        buf = mmap.mmap(-1, array.nbytes)
+        shared = np.frombuffer(buf, dtype=array.dtype).reshape(array.shape)
+        np.copyto(shared, array)
+        self._maps.append(buf)
+        self.arrays_shared += 1
+        self.bytes_shared += array.nbytes
+        return shared
+
+    def close(self) -> None:
+        """Release mappings no live array still references.
+
+        A mapping with an exported buffer (some ndarray still views it)
+        raises ``BufferError`` on close; those are left mapped — the
+        kernel reclaims them when the last referencing process exits, so
+        skipping them is safe, never a leak across process lifetime.
+        """
+        self._closed = True
+        remaining: list[mmap.mmap] = []
+        for mapping in self._maps:
+            try:
+                mapping.close()
+            except BufferError:
+                remaining.append(mapping)
+        self._maps = remaining
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArena(arrays={self.arrays_shared}, "
+            f"bytes={self.bytes_shared}, closed={self._closed})"
+        )

@@ -235,6 +235,49 @@ class SampleCache:
             density_ref=weakref.ref(density),
         )
 
+    def prewarm(self, pairs) -> int:
+        """Draw (and retain) the cloud for every ``(density, object_id)`` pair.
+
+        Used by the process executor to populate the cache *before*
+        forking workers, so every worker inherits the warm clouds instead
+        of redrawing them privately.  Draws go through :meth:`get` and
+        charge the usual miss counters — prewarming therefore changes the
+        hit/miss ledger relative to a cold serial run (never the
+        estimates), which is why it is opt-in.
+
+        Returns the number of clouds resident afterwards.
+        """
+        for density, object_id in pairs:
+            self.get(density, object_id)
+        return len(self._entries)
+
+    def rebind_resident(self, share) -> int:
+        """Move every resident cloud's buffers via ``share(array)``.
+
+        The process executor passes
+        :meth:`repro.storage.shm.SharedArena.share_array`; afterwards the
+        points/weights of each retained :class:`ObjectSamples` live in
+        shared anonymous mappings, so forked workers read one physical
+        copy.  Column views are rebuilt against the shared points buffer;
+        totals and density refs are preserved, so estimates remain
+        bit-identical.  Returns the number of clouds rebound.
+        """
+        with self._lock:
+            for oid, entry in list(self._entries.items()):
+                points = share(entry.points)
+                weights = share(entry.weights)
+                columns = tuple(
+                    points[:, axis] for axis in range(points.shape[1])
+                )
+                self._entries[oid] = ObjectSamples(
+                    points=points,
+                    weights=weights,
+                    total=entry.total,
+                    columns=columns,
+                    density_ref=entry.density_ref,
+                )
+            return len(self._entries)
+
     def __repr__(self) -> str:
         return (
             f"SampleCache(n_samples={self.n_samples}, seed={self.seed}, "
