@@ -29,12 +29,14 @@ from dataclasses import dataclass
 
 from repro import env as repro_env
 from repro.core.filterkernel import FILTER_KERNEL_ENV, resolve_filter_kernel
+from repro.storage.bufferpool import POOL_POLICIES
 from repro.uncertainty.montecarlo import AppearanceEstimator
 
 __all__ = ["ExecConfig"]
 
 _PARTITIONER_NAMES = ("str", "hash")
 _EXECUTOR_NAMES = ("thread", "process")
+_POOL_POLICY_NAMES = POOL_POLICIES
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,21 @@ class ExecConfig:
         io_latency_seconds: simulated per-page latency for the parallel
             fetch thread.
         pool_capacity: buffer-pool frames (0 = paper-exact uncached I/O).
+        pool_policy: buffer-pool replacement policy, ``"lru"``, ``"2q"``
+            (default) or ``"arc"`` (adaptive, with ghost lists).
+            Environment default via ``REPRO_POOL_POLICY``.
+        pool_probation: 2Q probation-FIFO frames; ``None`` keeps the
+            built-in ``max(1, capacity // 8)``.  Ignored by the other
+            policies.  Environment default via ``REPRO_POOL_PROBATION``.
+        probe_bound: let the shard router stop probing once the
+            cost-ordered cheapest shards provably satisfy the query
+            (Observation-4 residual-probability bound for ranges,
+            running best-worst distance bound for NN).  Answers are
+            identical either way; only probe counts change.
+        auto_tune: drive each :meth:`Database.run` batch through the
+            workload-aware :class:`~repro.exec.tuner.AutoTuner`, which
+            converges on method / kernel / executor / parallelism
+            choices from observed throughput.  Requires ``batched``.
         page_size: simulated page size in bytes.
         mc_samples: Monte-Carlo samples per P_app evaluation.
         seed: base RNG seed; per-object streams derive from
@@ -85,6 +102,10 @@ class ExecConfig:
     dedupe_pages: bool = True
     io_latency_seconds: float = 0.0
     pool_capacity: int = 0
+    pool_policy: str = "2q"
+    pool_probation: int | None = None
+    probe_bound: bool = True
+    auto_tune: bool = False
     page_size: int = 4096
     mc_samples: int = 10_000
     seed: int = 0
@@ -120,6 +141,18 @@ class ExecConfig:
             raise ValueError("io_latency_seconds must be non-negative")
         if self.pool_capacity < 0:
             raise ValueError("pool_capacity must be non-negative")
+        if self.pool_policy not in _POOL_POLICY_NAMES:
+            raise ValueError(
+                f"unknown pool_policy {self.pool_policy!r}; "
+                f"pick one of {_POOL_POLICY_NAMES}"
+            )
+        if self.pool_probation is not None and self.pool_probation < 0:
+            raise ValueError("pool_probation must be non-negative")
+        if self.auto_tune and not self.batched:
+            raise ValueError(
+                "auto_tune=True requires batched=True (the tuner observes "
+                "batch throughput)"
+            )
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
         if self.mc_samples < 1:
@@ -150,6 +183,17 @@ class ExecConfig:
         executor = repro_env.env_value("REPRO_EXECUTOR")
         if executor is not None and executor.strip():
             fields["executor"] = executor.strip().lower()
+        policy = repro_env.env_value("REPRO_POOL_POLICY")
+        if policy is not None and policy.strip():
+            fields["pool_policy"] = policy.strip().lower()
+        probation = repro_env.env_value("REPRO_POOL_PROBATION")
+        if probation is not None and probation.strip():
+            fields["pool_probation"] = int(probation)
+        bound = repro_env.env_value("REPRO_PROBE_BOUND")
+        if bound is not None and bound.strip():
+            fields["probe_bound"] = repro_env.env_flag("REPRO_PROBE_BOUND")
+        if repro_env.env_flag("REPRO_AUTO_TUNE"):
+            fields["auto_tune"] = True
         fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
         fields.update(overrides)
         return cls(**fields)

@@ -27,6 +27,7 @@ full knob matrix).
 from __future__ import annotations
 
 import json
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -38,7 +39,7 @@ from repro.core.nn import expected_nearest_neighbors, probabilistic_nearest_neig
 from repro.core.query import ProbRangeQuery
 from repro.core.stats import QueryStats, WorkloadStats
 from repro.exec.access import AccessMethod
-from repro.exec.batch import BatchExecutor, BatchStats
+from repro.exec.batch import SERIAL_FALLBACK_SAMPLE_OPS, BatchExecutor, BatchStats
 from repro.exec.executor import QueryExecutor
 from repro.exec.mpexec import ProcessBatchExecutor
 from repro.exec.planner import (
@@ -48,12 +49,33 @@ from repro.exec.planner import (
     derive_data_records_per_page,
 )
 from repro.exec.shard import ShardedAccessMethod
+from repro.exec.tuner import AutoTuner, TunerDecision
 from repro.storage.bufferpool import BufferPool
 from repro.uncertainty.objects import UncertainObject
 
 __all__ = ["Database", "Explanation", "RunResult"]
 
 _METHOD_NAMES = ("utree", "upcr", "scan")
+_METHOD_VARIANTS = ("mono", "sharded")
+
+
+def _parse_method_name(name: str) -> tuple[str, str | None]:
+    """Split ``"utree@mono"`` into ``("utree", "mono")``.
+
+    The optional ``@mono``/``@sharded`` suffix pins the layout of one
+    method regardless of ``config.shards`` — how a database registers
+    both variants of the same structure side by side, so the planner and
+    the auto-tuner can arbitrate between them at query time.
+    """
+    base, sep, variant = name.partition("@")
+    if not sep:
+        return base, None
+    if variant not in _METHOD_VARIANTS:
+        raise ValueError(
+            f"unknown method variant {name!r}; the suffix must be one of "
+            f"{_METHOD_VARIANTS}"
+        )
+    return base, variant
 
 # Archive keys the save/open pair speaks (npz entries).
 _META_KEY = "database_meta"
@@ -64,7 +86,7 @@ _FORMAT_UTREE = "repro-database-utree-v1"
 def _default_catalog(name: str, dim: int):
     from repro.core.catalog import UCatalog
 
-    if name == "upcr":
+    if _parse_method_name(name)[0] == "upcr":
         return UCatalog.paper_upcr_default(dim)
     return UCatalog.paper_utree_default()
 
@@ -75,6 +97,8 @@ def _resolve_catalog(catalog, name: str, dim: int):
         return _default_catalog(name, dim)
     if isinstance(catalog, dict):
         chosen = catalog.get(name)
+        if chosen is None:  # variant names fall back to their base entry
+            chosen = catalog.get(_parse_method_name(name)[0])
         return chosen if chosen is not None else _default_catalog(name, dim)
     return catalog
 
@@ -111,11 +135,38 @@ def _build_monolithic(name, dim, catalog, config, estimator, pool):
     raise ValueError(f"unknown method {name!r}; pick from {_METHOD_NAMES}")
 
 
+def _structures(method) -> list:
+    """The concrete structures behind a (possibly sharded) method."""
+    if isinstance(method, ShardedAccessMethod):
+        return list(method.shards)
+    return [method]
+
+
+def _kernel_built(method) -> bool:
+    """Whether the method carries a columnar sidecar (toggleable or not)."""
+    return any(getattr(s, "kernel", None) is not None for s in _structures(method))
+
+
 def _kernel_enabled(method) -> bool:
     """Whether the (possibly sharded) method classifies via the kernel."""
-    if isinstance(method, ShardedAccessMethod):
-        return any(getattr(s, "kernel", None) is not None for s in method.shards)
-    return getattr(method, "kernel", None) is not None
+    return any(
+        getattr(s, "active_kernel", getattr(s, "kernel", None)) is not None
+        for s in _structures(method)
+    )
+
+
+def _set_kernel(method, enabled: bool) -> bool:
+    """Flip query-time kernel use for every structure behind ``method``.
+
+    The sidecar itself stays built and fed either way (update paths
+    never consult the flag), so the toggle is free and instant.  Returns
+    the *effective* state — asking for the kernel on a structure built
+    without one stays off.
+    """
+    for structure in _structures(method):
+        if hasattr(structure, "use_kernel"):
+            structure.use_kernel = bool(enabled)
+    return _kernel_enabled(method)
 
 
 def _live_records(method):
@@ -159,6 +210,21 @@ class Explanation:
     # worker_layout[i]); empty for the thread backend or a monolithic
     # choice, where work round-robins instead of following ownership.
     worker_layout: tuple[int, ...] = ()
+    # How many probes the router's residual-probability bound dropped
+    # beyond plain MBR pruning (sharded choices only).
+    shards_bound_skipped: int = 0
+    # The batch size the fallback prediction was made for (explain's
+    # batch_size argument) and the PR 6 small-batch serial fallback: a
+    # parallel-configured executor runs a zero-latency batch serially
+    # when its Monte-Carlo volume (queries x samples) stays under the
+    # threshold, because thread dispatch would cost more than it buys.
+    batch_queries: int = 1
+    serial_fallback_threshold: int = SERIAL_FALLBACK_SAMPLE_OPS
+    serial_fallback: bool = False
+    pool_policy: str = "2q"
+    pool_capacity: int = 0
+    # The auto-tuner's full report (None when auto_tune is off).
+    tuner: dict | None = None
 
     def summary(self) -> str:
         lines = [f"{type(self.spec).__name__} -> {self.choice!r}"]
@@ -170,7 +236,8 @@ class Explanation:
         if self.shards > 1:
             lines.append(
                 f"  shards: probe {list(self.shard_probes)} of {self.shards} "
-                f"({self.shards_pruned} pruned)"
+                f"({self.shards_pruned} pruned, "
+                f"{self.shards_bound_skipped} bound-skipped)"
             )
         mode = (
             f"batched, {self.executor} x{self.parallelism}" if self.batched
@@ -182,6 +249,27 @@ class Explanation:
             f"  filter kernel: {'on' if self.filter_kernel else 'off'} | {mode} | "
             f"calibration: {self.data_records_per_page:.2f} records/page"
         )
+        if self.batched and self.parallelism > 1:
+            lines.append(
+                f"  serial fallback: "
+                f"{'taken' if self.serial_fallback else 'not taken'} for "
+                f"{self.batch_queries} queries "
+                f"(threshold {self.serial_fallback_threshold} sample-ops)"
+            )
+        if self.pool_capacity:
+            lines.append(
+                f"  buffer pool: {self.pool_policy}, "
+                f"{self.pool_capacity} frames"
+            )
+        if self.tuner is not None:
+            state = "converged" if self.tuner.get("converged") else "exploring"
+            knobs = ", ".join(
+                f"{k}={v!r}" for k, v in self.tuner.get("incumbent", {}).items()
+            )
+            lines.append(
+                f"  auto-tuner: {state} after "
+                f"{self.tuner.get('observations', 0)} batches ({knobs})"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -274,8 +362,16 @@ class Database:
         self._methods = dict(methods)
         self.config = config
         self.planner = planner if planner is not None else self._build_planner()
-        self._batch_executors: dict[str, BatchExecutor] = {}
+        # Keyed by (method name, executor backend, parallelism, kernel
+        # on/off): per-call overrides and the tuner's decisions select
+        # among cached executors instead of rebuilding them per batch,
+        # and the kernel state in the key keeps forked process pools
+        # from serving a batch under a kernel setting they never saw.
+        self._batch_executors: dict[tuple, BatchExecutor] = {}
         self._query_executors: dict[str, QueryExecutor] = {}
+        self.tuner: AutoTuner | None = (
+            self._build_tuner() if config.auto_tune else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -317,24 +413,42 @@ class Database:
         for name in methods:
             if name in built:
                 raise ValueError(f"method {name!r} requested twice")
+            base, variant = _parse_method_name(name)
+            if variant == "sharded" and not config.sharded:
+                raise ValueError(
+                    f"method {name!r} pins the sharded layout but "
+                    f"config.shards == {config.shards}; raise shards to >= 2"
+                )
+            sharded = config.sharded if variant is None else variant == "sharded"
             cat = _resolve_catalog(catalog, name, dim)
-            if config.sharded:
+            if sharded:
                 built[name] = ShardedAccessMethod.build(
                     objects,
                     shards=config.shards,
                     partitioner=config.partitioner,
-                    method=name,
+                    method=base,
                     dim=dim,
                     catalog=cat,
                     page_size=config.page_size,
                     estimator=estimator,
                     pool_capacity=config.pool_capacity,
+                    pool_policy=config.pool_policy,
+                    pool_probation=config.pool_probation,
                     prune=config.prune,
+                    probe_bound=config.probe_bound,
                     filter_kernel=config.filter_kernel,
                 )
             else:
-                pool = BufferPool(config.pool_capacity) if config.pool_capacity else None
-                method = _build_monolithic(name, dim, cat, config, estimator, pool)
+                pool = (
+                    BufferPool(
+                        config.pool_capacity,
+                        policy=config.pool_policy,
+                        probation_capacity=config.pool_probation,
+                    )
+                    if config.pool_capacity
+                    else None
+                )
+                method = _build_monolithic(base, dim, cat, config, estimator, pool)
                 for obj in objects:
                     method.insert(obj)
                 built[name] = method
@@ -407,13 +521,52 @@ class Database:
         return cost
 
     def refresh_planner(self) -> None:
-        """Re-derive every cost model after heavy update traffic."""
-        calibrated = self.planner.data_records_per_page
+        """Re-derive every cost model after heavy update traffic.
+
+        The learnt calibration — packing constant *and* per-method bias
+        — carries over; only the geometry snapshots are rebuilt.
+        """
+        learnt = self.planner.state_dict()
         self.planner = self._build_planner()
-        self.planner.data_records_per_page = calibrated
+        self.planner.load_state(learnt)
         for method in self._methods.values():
             if isinstance(method, ShardedAccessMethod):
                 method.refresh_router()
+
+    # ------------------------------------------------------------------
+    # auto-tuner wiring
+    # ------------------------------------------------------------------
+    def _build_tuner(self) -> AutoTuner:
+        """The knob space the tuner searches, derived from what exists.
+
+        Knobs with only one viable value never register (AutoTuner drops
+        them): a single-method database has no method knob, a database
+        built without sidecars has no kernel knob, and a platform
+        without ``fork`` offers no process backend.
+        """
+        import multiprocessing
+
+        knobs: dict[str, list] = {}
+        baseline: dict[str, object] = {}
+        if len(self._methods) > 1:
+            knobs["method"] = list(self._methods)
+            baseline["method"] = next(iter(self._methods))
+        if any(_kernel_built(m) for m in self._methods.values()):
+            knobs["filter_kernel"] = [True, False]
+            baseline["filter_kernel"] = _kernel_enabled(
+                next(iter(self._methods.values()))
+            )
+        executors = ["thread"]
+        if "fork" in multiprocessing.get_all_start_methods():
+            executors.append("process")
+        knobs["executor"] = executors
+        baseline["executor"] = self.config.executor
+        knobs["parallelism"] = sorted({1, 2, self.config.parallelism})
+        baseline["parallelism"] = self.config.parallelism
+        # Two trials per value before convergence: qps feedback is
+        # wall-clock, so a single sample can rank statistically-equal
+        # values (e.g. mono vs sharded on a small workload) arbitrarily.
+        return AutoTuner(knobs, baseline=baseline, min_trials=2)
 
     # ------------------------------------------------------------------
     # introspection
@@ -476,6 +629,74 @@ class Database:
             return next(iter(outcomes.values()))
         return outcomes
 
+    def rebalance(self, method: str | None = None, *, min_skew: float = 0.0) -> dict:
+        """Repartition sharded methods whose update traffic skewed them.
+
+        Inserts follow the least-enlargement rule and hash residues, so
+        a drifting workload concentrates objects (and probe cost) on a
+        few shards; each sharded method counts that traffic in
+        ``insert_traffic``/``delete_traffic`` and exposes the resulting
+        imbalance as ``size_skew()`` (max shard size over mean, 1.0 =
+        perfectly even).  This rebuilds the partition from the live
+        records — same shard count, partitioner, catalog and estimator,
+        so answers stay bit-identical — and resets the traffic counters.
+
+        Args:
+            method: one registered method to rebalance (default: every
+                sharded method).  Monolithic methods are skipped.
+            min_skew: only rebuild methods whose ``size_skew()`` is at
+                least this (0.0 rebuilds unconditionally).
+
+        Returns:
+            Per-method report: objects carried over, the update traffic
+            that triggered the rebuild, and skew before/after.
+        """
+        names = [method] if method is not None else list(self._methods)
+        report: dict[str, dict] = {}
+        for name in names:
+            if name not in self._methods:
+                raise KeyError(
+                    f"method {name!r} is not registered (have {self.method_names})"
+                )
+            old = self._methods[name]
+            if not isinstance(old, ShardedAccessMethod):
+                continue
+            skew_before = old.size_skew()
+            if skew_before < min_skew:
+                continue
+            traffic = old.update_traffic
+            records = sorted(_live_records(old), key=lambda r: r.oid)
+            objects = [old.data_file.peek(r.address) for r in records]
+            kernel_on = _kernel_enabled(old)
+            rebuilt = ShardedAccessMethod.build(
+                objects,
+                shards=old.shard_count,
+                partitioner=old.partitioner,
+                method=_parse_method_name(name)[0],
+                dim=old.dim,
+                catalog=old.shards[0].catalog,
+                page_size=old.data_file.page_size,
+                estimator=old.estimator,
+                pool_capacity=self.config.pool_capacity,
+                pool_policy=self.config.pool_policy,
+                pool_probation=self.config.pool_probation,
+                prune=old.prune,
+                probe_bound=old.probe_bound,
+                filter_kernel="on" if _kernel_built(old) else "off",
+            )
+            _set_kernel(rebuilt, kernel_on)
+            self._methods[name] = rebuilt
+            self._drop_executors(name)
+            report[name] = {
+                "objects": len(objects),
+                "update_traffic": traffic,
+                "skew_before": skew_before,
+                "skew_after": rebuilt.size_skew(),
+            }
+        if report:
+            self.refresh_planner()
+        return report
+
     # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
@@ -528,25 +749,45 @@ class Database:
         decision = self.planner.plan(spec.to_query())
         return decision.choice, decision
 
-    def _batch_executor(self, name: str) -> BatchExecutor:
-        if name not in self._batch_executors:
-            if self.config.executor == "process":
-                self._batch_executors[name] = ProcessBatchExecutor(
+    def _batch_executor(
+        self,
+        name: str,
+        *,
+        executor: str | None = None,
+        parallelism: int | None = None,
+    ) -> BatchExecutor:
+        executor = self.config.executor if executor is None else executor
+        parallelism = (
+            self.config.parallelism if parallelism is None else parallelism
+        )
+        key = (name, executor, parallelism, _kernel_enabled(self._methods[name]))
+        if key not in self._batch_executors:
+            if executor == "process":
+                self._batch_executors[key] = ProcessBatchExecutor(
                     self._methods[name],
-                    workers=self.config.parallelism,
+                    workers=parallelism,
                     memoize=self.config.memoize,
                     dedupe_pages=self.config.dedupe_pages,
                     io_latency_seconds=self.config.io_latency_seconds,
                 )
             else:
-                self._batch_executors[name] = BatchExecutor(
+                self._batch_executors[key] = BatchExecutor(
                     self._methods[name],
                     memoize=self.config.memoize,
                     dedupe_pages=self.config.dedupe_pages,
-                    parallelism=self.config.parallelism,
+                    parallelism=parallelism,
                     io_latency_seconds=self.config.io_latency_seconds,
                 )
-        return self._batch_executors[name]
+        return self._batch_executors[key]
+
+    def _drop_executors(self, name: str) -> None:
+        """Forget every executor bound to ``name``'s current structure."""
+        for key in [k for k in self._batch_executors if k[0] == name]:
+            executor = self._batch_executors.pop(key)
+            closer = getattr(executor, "close", None)
+            if closer is not None:
+                closer()
+        self._query_executors.pop(name, None)
 
     def close(self) -> None:
         """Release executor resources (the process backend's worker pool).
@@ -615,6 +856,9 @@ class Database:
         specs: Sequence[QuerySpec],
         *,
         method: str | None = None,
+        parallelism: int | None = None,
+        executor: str | None = None,
+        filter_kernel: bool | None = None,
     ) -> RunResult:
         """Answer a batch of specs (submission order preserved).
 
@@ -626,6 +870,15 @@ class Database:
         With several registered methods and no ``method`` pin, the
         planner prices every range spec and routes it to the cheapest
         structure.
+
+        ``parallelism``/``executor``/``filter_kernel`` override the
+        config for this batch only (answers never change — these are
+        pure cost knobs); the kernel toggle is sticky on the structures
+        until the next override.  Under ``config.auto_tune`` a batch
+        with no explicit overrides is driven by the
+        :class:`~repro.exec.tuner.AutoTuner` instead: it proposes the
+        knob assignment, the batch executes under it, and the measured
+        throughput feeds back into the tuner's estimates.
         """
         specs = list(specs)
         for spec in specs:
@@ -633,7 +886,47 @@ class Database:
                 raise TypeError(
                     f"specs must be RangeSpec or NearestSpec, got {type(spec).__name__}"
                 )
-        decisions = [self._choose(spec, method) for spec in specs]
+        if executor is not None and executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; pick 'thread' or 'process'"
+            )
+        if parallelism is not None and parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if not self.config.batched and (
+            parallelism not in (None, 1) or executor == "process"
+        ):
+            raise ValueError(
+                "per-batch parallelism/executor overrides need batched=True"
+            )
+
+        # Tuner-driven batches: only when the caller pinned nothing (an
+        # explicit override is the caller measuring, not the tuner).
+        range_pin = method
+        proposal: TunerDecision | None = None
+        has_ranges = any(isinstance(s, RangeSpec) for s in specs)
+        if (
+            self.tuner is not None
+            and has_ranges
+            and method is None
+            and parallelism is None
+            and executor is None
+            and filter_kernel is None
+        ):
+            proposal = self.tuner.propose()
+            range_pin = proposal.assignment.get("method")
+            parallelism = proposal.assignment.get("parallelism")
+            executor = proposal.assignment.get("executor")
+            filter_kernel = proposal.assignment.get("filter_kernel")
+        if filter_kernel is not None:
+            for m in self._methods.values():
+                _set_kernel(m, filter_kernel)
+
+        decisions = [
+            self._choose(
+                spec, method if isinstance(spec, NearestSpec) else range_pin
+            )
+            for spec in specs
+        ]
         choices = [choice for choice, _ in decisions]
         out = RunResult()
         slots: list[Result | None] = [None] * len(specs)
@@ -648,17 +941,23 @@ class Database:
             else:
                 slots[i] = self._run_nearest(spec, choices[i])
 
+        range_count = 0
+        executors_before = len(self._batch_executors)
+        range_start = time.perf_counter()
         for name, indices in grouped.items():
             queries = [specs[i].to_query() for i in indices]
+            range_count += len(queries)
             if self.config.batched:
-                batch = self._batch_executor(name).run(queries)
+                batch = self._batch_executor(
+                    name, executor=executor, parallelism=parallelism
+                ).run(queries)
                 answers = batch.answers
                 if name in out.batches:  # pragma: no cover - defensive
                     raise RuntimeError(f"duplicate batch for method {name!r}")
                 out.batches[name] = batch.batch
             else:
-                executor = self._query_executor(name)
-                answers = [executor.execute(query) for query in queries]
+                query_executor = self._query_executor(name)
+                answers = [query_executor.execute(query) for query in queries]
             for i, answer in zip(indices, answers):
                 slots[i] = Result(
                     spec=specs[i],
@@ -666,6 +965,18 @@ class Database:
                     object_ids=answer.object_ids,
                     stats=answer.stats,
                 )
+        if proposal is not None and range_count:
+            # A batch that had to build its executor ran cold (fresh
+            # thread/process pool, empty P_app memo) — feeding that wall
+            # time to the tuner would systematically punish explored
+            # alternatives, whose executor keys are new by construction,
+            # against always-warm incumbents.  Skip the observation; the
+            # tuner re-proposes the still-undersampled value and the next
+            # batch measures it warm.
+            warmed = len(self._batch_executors) == executors_before
+            if warmed:
+                range_wall = time.perf_counter() - range_start
+                self.tuner.observe(proposal, range_count / max(range_wall, 1e-9))
 
         out.results = [slot for slot in slots if slot is not None]
         for result in out.results:
@@ -706,18 +1017,33 @@ class Database:
     # ------------------------------------------------------------------
     # explain
     # ------------------------------------------------------------------
-    def explain(self, spec: QuerySpec, *, method: str | None = None) -> Explanation:
+    def explain(
+        self,
+        spec: QuerySpec,
+        *,
+        method: str | None = None,
+        batch_size: int = 1,
+    ) -> Explanation:
         """The planner's cost comparison and chosen path, no execution.
 
         Prices the spec under every registered method's cost model,
         reports the winner (or the pinned ``method``) and — for a
-        sharded choice — the router's probe order and prune count.
+        sharded choice — the router's probe order, prune count and how
+        many extra probes the residual-probability bound dropped.
+        ``batch_size`` is the hypothetical batch the spec would ship in:
+        it drives the PR 6 serial-fallback prediction (a parallel
+        executor runs small zero-latency batches serially), reported in
+        ``serial_fallback``/``serial_fallback_threshold``.  With
+        ``auto_tune`` on, ``tuner`` carries the tuner's live report —
+        every knob's throughput estimate and the chosen incumbents.
         """
         if not isinstance(spec, RangeSpec):
             raise TypeError(
                 "explain() prices range specs; nearest-neighbour search has "
                 "no cost model yet"
             )
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         query = spec.to_query()
         decision = self.planner.plan(query)
         choice = decision.choice if method is None else method
@@ -726,8 +1052,11 @@ class Database:
                 f"method {choice!r} is not registered (have {self.method_names})"
             )
         chosen = self._methods[choice]
+        bound_skipped = 0
         if isinstance(chosen, ShardedAccessMethod):
+            skips_before = chosen.router.bound_skips
             probes = tuple(chosen.route(query))
+            bound_skipped = chosen.router.bound_skips - skips_before
             shards = chosen.shard_count
             pruned = shards - len(probes)
         else:
@@ -739,6 +1068,15 @@ class Database:
             layout = tuple(
                 shard_id % self.config.parallelism for shard_id in range(shards)
             )
+        # Mirror BatchExecutor._below_fallback_threshold: a zero-latency
+        # batch under the Monte-Carlo volume threshold takes the exact
+        # serial path even when parallelism is configured.
+        fallback = (
+            self.config.batched
+            and self.config.parallelism > 1
+            and self.config.io_latency_seconds == 0.0
+            and batch_size * self.config.mc_samples < SERIAL_FALLBACK_SAMPLE_OPS
+        )
         return Explanation(
             spec=spec,
             choice=choice,
@@ -752,6 +1090,13 @@ class Database:
             data_records_per_page=self.planner.data_records_per_page,
             executor=self.config.executor,
             worker_layout=layout,
+            shards_bound_skipped=bound_skipped,
+            batch_queries=batch_size,
+            serial_fallback_threshold=SERIAL_FALLBACK_SAMPLE_OPS,
+            serial_fallback=fallback,
+            pool_policy=self.config.pool_policy,
+            pool_capacity=self.config.pool_capacity,
+            tuner=self.tuner.report() if self.tuner is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -767,9 +1112,28 @@ class Database:
                     name: np.asarray(_method_catalog(m).values).tolist()
                     for name, m in self._methods.items()
                 },
+                # Learnt adaptive state rides along so a reopened
+                # database plans (and tunes) from where this one left
+                # off instead of re-learning from scratch.
+                "planner": self.planner.state_dict(),
+                "tuner": (
+                    self.tuner.state_dict() if self.tuner is not None else None
+                ),
             },
             sort_keys=True,
         )
+
+    @staticmethod
+    def _restore_learned(db: "Database", meta: dict | None) -> None:
+        """Reload archived planner/tuner state into a reopened database."""
+        if not meta:
+            return
+        planner_state = meta.get("planner")
+        if planner_state:
+            db.planner.load_state(planner_state)
+        tuner_state = meta.get("tuner")
+        if tuner_state and db.tuner is not None:
+            db.tuner.load_state(tuner_state)
 
     def save(self, path) -> None:
         """Persist the database to one ``.npz`` archive.
@@ -850,13 +1214,15 @@ class Database:
                     )
                     for oid, doc in zip(archive["oids"], archive["descriptors"])
                 ]
-                return cls.create(
+                db = cls.create(
                     objects,
                     config,
                     methods=tuple(meta["methods"]),
                     catalog=catalogs or None,
                     dim=dim,
                 )
+                cls._restore_learned(db, meta)
+                return db
 
         # A fitted U-tree archive (facade-saved with _FORMAT_UTREE, or a
         # plain save_utree file): load_utree restores the fitted CFBs and
@@ -865,11 +1231,21 @@ class Database:
             config = ExecConfig.from_json(json.dumps(meta["config"]))
         if config is None:
             config = ExecConfig()
-        pool = BufferPool(config.pool_capacity) if config.pool_capacity else None
+        pool = (
+            BufferPool(
+                config.pool_capacity,
+                policy=config.pool_policy,
+                probation_capacity=config.pool_probation,
+            )
+            if config.pool_capacity
+            else None
+        )
         tree = load_utree(
             path,
             estimator=config.estimator(),
             filter_kernel=config.filter_kernel,
             pool=pool,
         )
-        return cls({"utree": tree}, config)
+        db = cls({"utree": tree}, config)
+        cls._restore_learned(db, meta)
+        return db

@@ -63,6 +63,9 @@ class NNResult:
     objects_examined: int = 0
     mc_rounds: int = 0
     wall_seconds: float = 0.0
+    # Sharded trees only: shards never walked because their bounds'
+    # mindist already exceeded the running best worst-case distance.
+    shards_skipped: int = 0
 
     def qualifying(self, threshold: float) -> list[NNCandidate]:
         """Candidates with qualification probability at least ``threshold``."""
@@ -99,7 +102,7 @@ def _walk_candidates(
     candidates: list[tuple[float, float, UTreeLeafRecord]] = []
     heap: list[tuple[float, int, Node]] = [(0.0, 0, tree.engine.root)]
     counter = 1
-    kernel = getattr(tree, "kernel", None)
+    kernel = getattr(tree, "active_kernel", None)
 
     while heap:
         mindist, __, node = heapq.heappop(heap)
@@ -169,12 +172,39 @@ def _collect_candidates(tree, point: np.ndarray, result: NNResult) -> list[UTree
     if shards is None:
         candidates, best_worst = _walk_candidates(tree, point, result)
     else:
+        # Latency-bounded probing: visit shards nearest-first and skip a
+        # shard once its bounds' mindist exceeds the running best
+        # worst-case — every member then has
+        # ``d_min >= shard mindist > best_worst``, so it can neither
+        # survive the final prune nor tighten the bound (its maxdist is
+        # at least its mindist).  The surviving set — and therefore the
+        # joint refinement — is identical to the walk-everything order.
+        router = getattr(tree, "router", None)
+        bound = router is None or (router.prune and router.probe_bound)
+        shard_bounds = getattr(tree, "shard_bounds", [None] * len(shards))
+        order = sorted(
+            (i for i, shard in enumerate(shards) if len(shard) > 0),
+            key=lambda i: (
+                _mindist(point, shard_bounds[i].lo, shard_bounds[i].hi)
+                if shard_bounds[i] is not None
+                else 0.0,
+                i,
+            ),
+        )
         candidates = []
         best_worst = np.inf
-        for shard in shards:
-            if len(shard) == 0:
+        for i in order:
+            box = shard_bounds[i]
+            if (
+                bound
+                and box is not None
+                and _mindist(point, box.lo, box.hi) > best_worst
+            ):
+                result.shards_skipped += 1
                 continue
-            shard_candidates, shard_best = _walk_candidates(shard, point, result)
+            shard_candidates, shard_best = _walk_candidates(
+                shards[i], point, result
+            )
             candidates.extend(shard_candidates)
             best_worst = min(best_worst, shard_best)
     # Final prune with the tight best_worst found.

@@ -138,6 +138,10 @@ class UTree:
             if resolve_filter_kernel(filter_kernel)
             else None
         )
+        # Runtime toggle (the auto-tuner flips it between batches): the
+        # kernel sidecar is always *fed* on insert so toggling is safe,
+        # but queries consult it only while use_kernel holds.
+        self.use_kernel = True
 
     # ------------------------------------------------------------------
     # construction
@@ -192,6 +196,11 @@ class UTree:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
+    @property
+    def active_kernel(self):
+        """The filter kernel queries should use right now (None = scalar)."""
+        return self.kernel if self.use_kernel else None
+
     def __len__(self) -> int:
         return len(self.engine)
 
@@ -286,12 +295,13 @@ class UTree:
                 pq,
             )
 
-        if self.kernel is not None:
+        kernel = self.active_kernel
+        if kernel is not None:
             records: list[UTreeLeafRecord] = []
             result.node_accesses = self.engine.traverse(
                 descend, lambda entry: records.append(entry.data)
             )
-            classify_records(self.kernel, records, rq, pq, result)
+            classify_records(kernel, records, rq, pq, result)
             return result
 
         def on_leaf(entry: Entry) -> None:

@@ -37,12 +37,17 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_SHARD_PARALLELISM": "executor thread-pool width (ExecConfig.parallelism)",
     "REPRO_EXECUTOR": "batch backend thread|process (ExecConfig.executor)",
     "REPRO_FULL_SCALE": "paper-scale experiment parameters (ExecConfig.full_scale)",
+    "REPRO_POOL_POLICY": "buffer-pool replacement lru|2q|arc (ExecConfig.pool_policy)",
+    "REPRO_POOL_PROBATION": "2Q probation FIFO frames (ExecConfig.pool_probation)",
+    "REPRO_PROBE_BOUND": "latency-bounded shard probing on/off (ExecConfig.probe_bound)",
+    "REPRO_AUTO_TUNE": "workload-aware auto-tuner on/off (ExecConfig.auto_tune)",
     "REPRO_SKIP_PERF_ASSERT": "skip wall-clock perf contracts (CI correctness matrix)",
     "REPRO_BENCH_SAMPLES": "Monte-Carlo budget for benchmark smoke runs",
     "REPRO_BENCH_ARTIFACT": "refinement-engine benchmark artifact path",
     "REPRO_SHARD_ARTIFACT": "shard-scaling benchmark artifact path",
     "REPRO_FILTER_ARTIFACT": "filter-kernel benchmark artifact path",
     "REPRO_MULTICORE_ARTIFACT": "multicore benchmark artifact path",
+    "REPRO_AUTOTUNE_ARTIFACT": "autotune benchmark artifact path",
 }
 
 _TRUE_WORDS = ("1", "true", "yes", "on")

@@ -50,6 +50,7 @@ from repro.exec.planner import (
     derive_data_records_per_page,
 )
 from repro.exec.refine import RefinementEngine, refine_with_engine
+from repro.exec.tuner import AutoTuner, TunerDecision
 from repro.exec.shard import (
     PARTITIONERS,
     ShardRouter,
@@ -60,6 +61,7 @@ from repro.exec.shard import (
 
 __all__ = [
     "AccessMethod",
+    "AutoTuner",
     "BatchExecutor",
     "BatchResult",
     "BatchStats",
@@ -73,6 +75,7 @@ __all__ = [
     "RefinementEngine",
     "SERIAL_FALLBACK_SAMPLE_OPS",
     "ScanCostModel",
+    "TunerDecision",
     "WorkerError",
     "ShardRouter",
     "ShardedAccessMethod",

@@ -68,6 +68,7 @@ from repro.core.stats import QueryStats, ShardStats, WorkloadStats
 from repro.exec.access import AccessMethod, FilterResult
 from repro.exec.refine import RefinementEngine, refine_with_engine
 from repro.geometry.rect import Rect
+from repro.storage.bufferpool import pool_counters, pools_of
 from repro.storage.pager import DiskAddress
 
 __all__ = [
@@ -122,6 +123,16 @@ class BatchStats:
     physical_reads: int = 0
     physical_writes: int = 0
     cache_hits: int = 0
+    # Buffer-pool accounting across every pool the method touches (node
+    # stores plus data files, all shards).  ``pool_ghost_hits`` is
+    # nonzero only under the ARC policy: misses whose identity a ghost
+    # list still remembered.  Under the process backend the workers'
+    # forked pool copies do the filtering, so the parent-side deltas
+    # reported here stay near zero.
+    pool_policy: str = ""
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_ghost_hits: int = 0
     prob_computations: int = 0
     memo_hits: int = 0
     sample_cache_hits: int = 0
@@ -152,6 +163,12 @@ class BatchStats:
         total = self.sample_cache_hits + self.sample_cache_misses
         return self.sample_cache_hits / total if total else 0.0
 
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of buffer-pool accesses served from memory this batch."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
     def __repr__(self) -> str:
         text = (
             f"BatchStats({self.queries} queries, parallelism={self.parallelism}, "
@@ -178,6 +195,10 @@ class BatchStats:
             ["pages saved", self.data_pages_saved],
             ["physical reads", self.physical_reads],
             ["cache hits", self.cache_hits],
+            ["pool policy / hit rate",
+             f"{self.pool_policy or 'none'} / {100 * self.pool_hit_rate:.1f}%"
+             + (f" ({self.pool_ghost_hits} ghost hits)"
+                if self.pool_ghost_hits else "")],
             ["P_app computed", self.prob_computations],
             ["P_app memo hits", self.memo_hits],
             ["sample-cache hit rate", f"{100 * self.sample_cache_hit_rate:.1f}%"],
@@ -267,6 +288,7 @@ class BatchExecutor:
             else int(serial_fallback_threshold)
         )
         self._prob_memo: dict[tuple[DiskAddress, Rect], float] = {}
+        self._pools = pools_of(method)
 
     def clear_memo(self) -> None:
         """Drop memoised appearance probabilities."""
@@ -402,6 +424,7 @@ class BatchExecutor:
         io = method.io
         reads0, writes0, hits0 = io.reads, io.writes, io.cache_hits
         cache_hits0, cache_misses0 = self.engine.cache.counters()
+        pool0 = pool_counters(self._pools)
         memo = self._prob_memo if self.memoize else None
 
         result = BatchResult()
@@ -490,7 +513,7 @@ class BatchExecutor:
         self._settle_shard_stats(result, shard_stats, shard_baseline)
         self._finalise(
             result, per_query, io, reads0, writes0, hits0,
-            (cache_hits0, cache_misses0), start,
+            (cache_hits0, cache_misses0), pool0, start,
         )
         return result
 
@@ -503,6 +526,7 @@ class BatchExecutor:
         io = method.io
         reads0, writes0, hits0 = io.reads, io.writes, io.cache_hits
         cache_hits0, cache_misses0 = self.engine.cache.counters()
+        pool0 = pool_counters(self._pools)
         memo = self._prob_memo if self.memoize else None
         latency = self.io_latency_seconds
 
@@ -688,7 +712,7 @@ class BatchExecutor:
         self._settle_shard_stats(result, shard_stats, shard_baseline)
         self._finalise(
             result, per_query, io, reads0, writes0, hits0,
-            (cache_hits0, cache_misses0), start,
+            (cache_hits0, cache_misses0), pool0, start,
         )
         return result
 
@@ -701,6 +725,7 @@ class BatchExecutor:
         writes0: int,
         hits0: int,
         cache_baseline: tuple[int, int],
+        pool_baseline: tuple[int, int, int],
         start: float,
     ) -> None:
         result.batch.logical_data_page_reads = sum(
@@ -728,4 +753,10 @@ class BatchExecutor:
         cache_hits1, cache_misses1 = self.engine.cache.counters()
         result.batch.sample_cache_hits = cache_hits1 - cache_baseline[0]
         result.batch.sample_cache_misses = cache_misses1 - cache_baseline[1]
+        pool1 = pool_counters(self._pools)
+        result.batch.pool_hits = pool1[0] - pool_baseline[0]
+        result.batch.pool_misses = pool1[1] - pool_baseline[1]
+        result.batch.pool_ghost_hits = pool1[2] - pool_baseline[2]
+        if self._pools:
+            result.batch.pool_policy = self._pools[0].policy
         result.batch.wall_seconds = time.perf_counter() - start

@@ -682,6 +682,8 @@ class ProcessBatchExecutor(BatchExecutor):
         batch.refine_seconds = sum(s.refine_seconds for _, s, _, _ in per_query)
         batch.physical_reads = physical_reads
         batch.cache_hits = sum(s.cache_hits for _, s, _, _ in per_query)
+        if self._pools:
+            batch.pool_policy = self._pools[0].policy
         batch.wall_seconds = time.perf_counter() - start
 
     def __repr__(self) -> str:

@@ -359,6 +359,44 @@ class Planner:
         return self.data_records_per_page
 
     # ------------------------------------------------------------------
+    # learnt-state persistence (what Database.save() archives)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The planner's learnt calibration as a JSON-safe dict."""
+        return {
+            "data_records_per_page": self.data_records_per_page,
+            "observations": self.observations,
+            "bias": dict(self._bias),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Bias entries for methods not registered here are kept anyway —
+        they are harmless (``bias()`` only consults registered names) and
+        survive a round trip through a planner with a different method
+        subset.
+        """
+        constant = float(state.get("data_records_per_page", self.data_records_per_page))
+        if constant > 0:
+            self.data_records_per_page = constant
+        self.observations = int(state.get("observations", self.observations))
+        bias = state.get("bias", {})
+        self._bias.update(
+            {str(name): float(value) for name, value in bias.items()}
+        )
+
+    def reset_feedback(self) -> None:
+        """Forget all learnt bias and observation history.
+
+        ``data_records_per_page`` keeps its current value — it is a
+        physical packing constant, not workload feedback; callers that
+        want the derived default back should rebuild the planner.
+        """
+        self._bias.clear()
+        self.observations = 0
+
+    # ------------------------------------------------------------------
     def plan(self, query: ProbRangeQuery) -> PlannedQuery:
         """Price the query under every model; pick the cheapest method.
 

@@ -67,6 +67,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.core.pruning import subtree_may_qualify
 from repro.core.query import ProbRangeQuery, QueryAnswer
 from repro.exec.access import FilterResult
 from repro.exec.executor import execute_query
@@ -164,6 +165,21 @@ class ShardRouter:
             disjoint shard's every object has ``P_app = 0``, below any
             legal threshold.  When False every shard is probed (the
             equivalence-testing mode).
+        level_bounds: per-shard union of member-object *profiles* — an
+            ``(m, 2, d)`` array of the union box at each catalog value
+            (``None`` for an empty shard).  Aliased like ``bounds``:
+            the owning method grows entries in place on insert.
+        catalog: the children's shared :class:`UCatalog` (required for
+            the probability bound; ``None`` disables it).
+        probe_bound: when True (default), apply the paper's
+            Observation 4 at shard granularity — skip a shard whose
+            level-bound box at the largest catalog value ``p_j <= p_q``
+            misses the query rectangle.  The shard's level box at ``j``
+            contains every member's PCR/CFB box at ``j``, so a miss
+            proves every member's ``P_app < p_q`` — the same argument
+            the trees apply per intermediate entry, lifted one level.
+            Strictly tighter than the MBR-intersection prune, never
+            changing the answer (pinned by the equivalence tests).
     """
 
     def __init__(
@@ -172,12 +188,19 @@ class ShardRouter:
         planner: Planner,
         *,
         prune: bool = True,
+        level_bounds: "list[np.ndarray | None] | None" = None,
+        catalog=None,
+        probe_bound: bool = True,
     ):
         self.bounds = bounds
         self.planner = planner
         self.prune = bool(prune)
+        self.level_bounds = level_bounds
+        self.catalog = catalog
+        self.probe_bound = bool(probe_bound)
         self.decisions = 0
         self.pruned_probes = 0
+        self.bound_skips = 0
 
     @property
     def shard_count(self) -> int:
@@ -187,21 +210,45 @@ class ShardRouter:
         """This shard's cost-model estimate for ``query``."""
         return self.planner.price(f"shard-{shard}", query)
 
+    def _bound_allows(self, shard: int, query: ProbRangeQuery) -> bool:
+        """Observation 4 at shard granularity (True = must probe).
+
+        The shard's per-level union box is a virtual intermediate entry
+        one level above the child roots; reusing
+        :func:`subtree_may_qualify` on it applies exactly the pruning
+        rule the trees trust for their own entries.
+        """
+        if not self.probe_bound or self.catalog is None or self.level_bounds is None:
+            return True
+        profile = self.level_bounds[shard]
+        if profile is None:
+            return True
+        return subtree_may_qualify(
+            self.catalog,
+            lambda j: Rect.from_arrays(profile[j, 0], profile[j, 1]),
+            query.rect,
+            query.threshold,
+        )
+
     def route(self, query: ProbRangeQuery) -> list[int]:
         """Shards to probe for ``query``, cheapest first.
 
         With pruning on, only shards whose bounds intersect the query
-        rectangle survive (empty shards never do); with pruning off,
-        every shard is returned.  Ties in the cost estimate break on the
-        shard index, keeping the order deterministic.
+        rectangle — and whose per-level bound admits the query threshold
+        (see ``probe_bound``) — survive (empty shards never do); with
+        pruning off, every shard is returned.  Ties in the cost estimate
+        break on the shard index, keeping the order deterministic.
         """
         self.decisions += 1
         if self.prune:
-            live = [
-                i
-                for i, box in enumerate(self.bounds)
-                if box is not None and box.intersects(query.rect)
-            ]
+            live = []
+            for i, box in enumerate(self.bounds):
+                if box is None or not box.intersects(query.rect):
+                    continue
+                if not self._bound_allows(i, query):
+                    self.bound_skips += 1
+                    continue
+                live.append(i)
         else:
             live = list(range(len(self.bounds)))
         self.pruned_probes += len(self.bounds) - len(live)
@@ -211,6 +258,34 @@ class ShardRouter:
 # ----------------------------------------------------------------------
 # the composite access method
 # ----------------------------------------------------------------------
+
+def _profile_of(child, oid: int) -> np.ndarray:
+    """One member's ``(m, 2, d)`` per-catalog-level box profile.
+
+    The trees keep profiles in their ``_profiles`` sidecar (the same
+    arrays their own intermediate bounds are built from); the flat scan
+    derives the profile from the record's conservative outer CFB — also
+    conservative, so the shard-level union stays sound.
+    """
+    profiles = getattr(child, "_profiles", None)
+    if profiles is not None:
+        return np.asarray(profiles[oid], dtype=float)
+    for record in reversed(child._records):
+        if record.oid == oid:
+            return np.asarray(record.outer.profile(child.catalog), dtype=float)
+    raise KeyError(f"object {oid} not found in shard")
+
+
+def _union_profile(
+    current: np.ndarray | None, profile: np.ndarray
+) -> np.ndarray:
+    """Grow a per-level union box stack by one member profile."""
+    if current is None:
+        return np.array(profile, dtype=float, copy=True)
+    np.minimum(current[:, 0, :], profile[:, 0, :], out=current[:, 0, :])
+    np.maximum(current[:, 1, :], profile[:, 1, :], out=current[:, 1, :])
+    return current
+
 
 def _make_child(
     method: str,
@@ -269,6 +344,8 @@ class ShardedAccessMethod:
         partitioner: str = "str",
         prune: bool = True,
         planner: Planner | None = None,
+        level_bounds: "Sequence[np.ndarray | None] | None" = None,
+        probe_bound: bool = True,
     ):
         if not shards:
             raise ValueError("at least one shard is required")
@@ -281,14 +358,31 @@ class ShardedAccessMethod:
         self.partitioner = partitioner
         self.shard_bounds = list(bounds)
         self.shard_sizes = list(sizes)
+        # Per-shard union of member profiles at every catalog value
+        # ((m, 2, d), None while empty) — the probe bound's input.  Like
+        # shard_bounds, grown on insert and conservative under delete.
+        self.level_bounds: list[np.ndarray | None] = (
+            [None] * len(self.shards) if level_bounds is None else list(level_bounds)
+        )
+        # Per-shard update traffic since build/last rebalance — the
+        # skew signal Database.rebalance() consumes.
+        self.insert_traffic = [0] * len(self.shards)
+        self.delete_traffic = [0] * len(self.shards)
         self.io = CompositeIOCounter(
             [shard.io for shard in self.shards] + [data_file.io]
         )
         if planner is None:
             planner = Planner.for_shards(self.shards)
-        # The router aliases shard_bounds (never copies): bounds grown by
-        # insert() are immediately visible to the pruning rule.
-        self.router = ShardRouter(self.shard_bounds, planner, prune=prune)
+        # The router aliases shard_bounds / level_bounds (never copies):
+        # bounds grown by insert() are immediately visible to pruning.
+        self.router = ShardRouter(
+            self.shard_bounds,
+            planner,
+            prune=prune,
+            level_bounds=self.level_bounds,
+            catalog=getattr(self.shards[0], "catalog", None),
+            probe_bound=probe_bound,
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -306,7 +400,10 @@ class ShardedAccessMethod:
         page_size: int = 4096,
         estimator: AppearanceEstimator | None = None,
         pool_capacity: int = 0,
+        pool_policy: str = "2q",
+        pool_probation: int | None = None,
         prune: bool = True,
+        probe_bound: bool = True,
         **method_kwargs,
     ) -> "ShardedAccessMethod":
         """Partition ``objects`` into ``shards`` child structures.
@@ -346,7 +443,10 @@ class ShardedAccessMethod:
             # smaller than the slice count, trailing slices come out
             # capacity-0, and it is the one file every query's
             # refinement reads that must not silently lose its cache.
-            pools = BufferPool.partition(pool_capacity, shards + 1)
+            pools = BufferPool.partition(
+                pool_capacity, shards + 1,
+                policy=pool_policy, probation_capacity=pool_probation,
+            )
         else:
             pools = [None] * (shards + 1)
         data_file = DataFile(IOCounter(), page_size, pool=pools[0])
@@ -364,12 +464,16 @@ class ShardedAccessMethod:
             children.append(child)
 
         bounds: list[Rect | None] = [None] * shards
+        level_bounds: list[np.ndarray | None] = [None] * shards
         sizes = [0] * shards
         for obj, shard in zip(objects, assignment):
             children[shard].insert(obj)
             sizes[shard] += 1
             bounds[shard] = (
                 obj.mbr if bounds[shard] is None else bounds[shard].union(obj.mbr)
+            )
+            level_bounds[shard] = _union_profile(
+                level_bounds[shard], _profile_of(children[shard], obj.oid)
             )
         return cls(
             children,
@@ -379,6 +483,8 @@ class ShardedAccessMethod:
             sizes=sizes,
             partitioner=partitioner,
             prune=prune,
+            level_bounds=level_bounds,
+            probe_bound=probe_bound,
         )
 
     # ------------------------------------------------------------------
@@ -399,6 +505,33 @@ class ShardedAccessMethod:
     @prune.setter
     def prune(self, value: bool) -> None:
         self.router.prune = bool(value)
+
+    @property
+    def probe_bound(self) -> bool:
+        """Whether the router applies the Observation-4 shard bound (settable)."""
+        return self.router.probe_bound
+
+    @probe_bound.setter
+    def probe_bound(self, value: bool) -> None:
+        self.router.probe_bound = bool(value)
+
+    @property
+    def update_traffic(self) -> int:
+        """Inserts + deletes since build / the last traffic reset."""
+        return sum(self.insert_traffic) + sum(self.delete_traffic)
+
+    def size_skew(self) -> float:
+        """Largest shard size over the mean (1.0 = perfectly balanced)."""
+        total = sum(self.shard_sizes)
+        if not total:
+            return 1.0
+        mean = total / len(self.shard_sizes)
+        return max(self.shard_sizes) / mean
+
+    def reset_traffic(self) -> None:
+        """Zero the per-shard insert/delete counters (after a rebalance)."""
+        self.insert_traffic = [0] * len(self.shards)
+        self.delete_traffic = [0] * len(self.shards)
 
     def refresh_router(self) -> None:
         """Rebuild the router's cost models after updates changed shard shapes."""
@@ -443,8 +576,12 @@ class ShardedAccessMethod:
         shard = self._choose_shard(obj)
         result = self.shards[shard].insert(obj)
         self.shard_sizes[shard] += 1
+        self.insert_traffic[shard] += 1
         box = self.shard_bounds[shard]
         self.shard_bounds[shard] = obj.mbr if box is None else box.union(obj.mbr)
+        self.level_bounds[shard] = _union_profile(
+            self.level_bounds[shard], _profile_of(self.shards[shard], obj.oid)
+        )
         return result
 
     def delete(self, oid: int):
@@ -458,12 +595,14 @@ class ShardedAccessMethod:
             outcome = self.shards[shard].delete(oid)
             if outcome:
                 self.shard_sizes[shard] -= 1
+                self.delete_traffic[shard] += 1
                 return outcome
             return None
         for i, shard in enumerate(self.shards):
             outcome = shard.delete(oid)
             if outcome:
                 self.shard_sizes[i] -= 1
+                self.delete_traffic[i] += 1
                 return outcome
         return None
 

@@ -1,0 +1,340 @@
+"""A workload-aware auto-tuner: engine knobs chosen from observed batches.
+
+PR 6's planner learns per-method *cost bias* (``observe_choice``) — a
+correction on predicted I/O.  This module closes the remaining loop: the
+knobs the planner cannot price (which access method variant, filter
+kernel on or off, thread or process backend, how many workers) are
+learned from executed throughput instead.
+
+The tuner is a deterministic coordinate-descent bandit:
+
+* Each **knob** has a small list of candidate values; the current best
+  per knob is the **incumbent**.
+* :meth:`propose` returns the incumbent assignment, except on
+  *exploration* decisions, where exactly one knob is flipped to a
+  not-yet-converged alternative (round-robin over knobs; untried values
+  first).  Exploring one coordinate at a time keeps credit assignment
+  unambiguous without a combinatorial arm space, and using a decision
+  counter instead of a random source keeps runs reproducible.
+* :meth:`observe` feeds back the batch's queries-per-second.  An
+  exploration batch credits *only* the flipped knob — the context knobs
+  held at their incumbents must not absorb a sample produced by someone
+  else's perturbation (a slow kernel-off probe would otherwise drag the
+  incumbent method's estimate down with it).  A pure exploitation batch
+  is a clean joint sample and credits every knob.  Each credited
+  ``(knob, value)`` pair folds the sample into an EWMA — except the
+  value's *second* sample, which overwrites the first: a value's debut
+  runs on cold executors and memo caches, and letting that anchor the
+  EWMA would systematically punish whichever value was measured first.
+  The incumbent of each knob moves to the highest-reward *tried* value,
+  with hysteresis: a challenger must beat the incumbent's estimate by
+  ``switch_margin`` (default 10%) — noise-level differences between
+  genuinely-equal values never flip an incumbent, so convergence holds.
+* Once every value has at least ``min_trials`` samples and the
+  incumbents have been stable for ``stable_after`` consecutive
+  observations, the tuner declares :attr:`converged` and stops
+  exploring — steady state runs the best-known static configuration,
+  which is how the benchmark's "within 10% of best static" contract is
+  met (exploration noise ends).
+
+State round-trips through :meth:`state_dict`/:meth:`load_state` so a
+:class:`~repro.api.Database` can persist tuned knobs across
+``save()``/``open()`` instead of silently re-learning from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["AutoTuner", "TunerDecision"]
+
+
+@dataclass
+class TunerDecision:
+    """One proposed knob assignment (what :meth:`AutoTuner.observe` credits).
+
+    ``explored`` names the knob deliberately flipped off its incumbent
+    for this batch (``None`` = pure exploitation).
+    """
+
+    assignment: dict[str, object] = field(default_factory=dict)
+    explored: str | None = None
+    index: int = 0
+
+
+class AutoTuner:
+    """Choose engine knobs online from executed batch throughput.
+
+    Args:
+        knobs: mapping of knob name to its candidate values (order
+            matters: the first value is the starting incumbent unless
+            ``baseline`` overrides it).  Knobs with fewer than two
+            values are dropped — there is nothing to tune.
+        baseline: starting incumbent per knob (e.g. the user's
+            ``ExecConfig`` choices), so the tuner explores *away* from
+            the configured behaviour rather than from an arbitrary
+            first value.
+        smoothing: EWMA weight of a new throughput sample.
+        explore_every: after the initial try-everything sweep, explore
+            on every Nth decision (the rest exploit the incumbents).
+        min_trials: samples every value needs before convergence.
+        stable_after: consecutive observations without an incumbent
+            change required to declare convergence.
+        switch_margin: relative throughput improvement a challenger
+            needs over the incumbent to dethrone it.  Wall-clock qps
+            feedback is noisy at the ~10% level; without hysteresis two
+            genuinely-equal values (e.g. parallelism 1 vs 2 on a batch
+            small enough for the serial fallback) flip-flop forever and
+            the tuner never stays converged.  Real knob gaps in this
+            engine (filter kernel, method variant) are well above it.
+    """
+
+    def __init__(
+        self,
+        knobs: dict[str, Sequence],
+        *,
+        baseline: dict[str, object] | None = None,
+        smoothing: float = 0.4,
+        explore_every: int = 2,
+        min_trials: int = 1,
+        stable_after: int = 4,
+        switch_margin: float = 0.1,
+    ):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if explore_every < 1:
+            raise ValueError("explore_every must be at least 1")
+        if switch_margin < 0.0:
+            raise ValueError("switch_margin must be non-negative")
+        baseline = baseline or {}
+        self.knobs: dict[str, list] = {}
+        for name, values in knobs.items():
+            unique = []
+            for value in values:
+                if value not in unique:
+                    unique.append(value)
+            if len(unique) >= 2:
+                self.knobs[name] = unique
+        self.smoothing = float(smoothing)
+        self.explore_every = int(explore_every)
+        self.min_trials = int(min_trials)
+        self.stable_after = int(stable_after)
+        self.switch_margin = float(switch_margin)
+        self.incumbent: dict[str, object] = {
+            name: baseline.get(name, values[0])
+            for name, values in self.knobs.items()
+        }
+        # (knob, value) -> [ewma_qps, trials]
+        self._stats: dict[str, list[list]] = {
+            name: [[0.0, 0] for _ in values] for name, values in self.knobs.items()
+        }
+        self.decisions = 0
+        self.observations = 0
+        self._stable = 0
+
+    # ------------------------------------------------------------------
+    # the bandit loop
+    # ------------------------------------------------------------------
+    def _value_stats(self, knob: str, value) -> list:
+        return self._stats[knob][self.knobs[knob].index(value)]
+
+    def _untried(self) -> "tuple[str, object] | None":
+        """The first (knob, value) pair with no samples yet, if any."""
+        for knob, values in self.knobs.items():
+            for value, (ewma, trials) in zip(values, self._stats[knob]):
+                if trials == 0:
+                    return knob, value
+        return None
+
+    @property
+    def converged(self) -> bool:
+        """Every value sampled enough and incumbents stable — stop exploring."""
+        if self._stable < self.stable_after:
+            return False
+        return all(
+            trials >= self.min_trials
+            for stats in self._stats.values()
+            for _, trials in stats
+        )
+
+    def propose(self) -> TunerDecision:
+        """The knob assignment for the next batch.
+
+        Deterministic: untried values are swept first (one per batch,
+        in declaration order), then every ``explore_every``-th decision
+        flips the least-sampled alternative of one knob (round-robin).
+        After convergence every decision is pure exploitation.
+        """
+        self.decisions += 1
+        assignment = dict(self.incumbent)
+        explored: str | None = None
+        if self.knobs and not self.converged:
+            untried = self._untried()
+            if untried is not None:
+                knob, value = untried
+                assignment[knob] = value
+                explored = knob
+            elif self.decisions % self.explore_every == 0:
+                names = list(self.knobs)
+                knob = names[(self.decisions // self.explore_every) % len(names)]
+                alternatives = [
+                    v for v in self.knobs[knob] if v != self.incumbent[knob]
+                ]
+                if alternatives:
+                    value = min(
+                        alternatives,
+                        key=lambda v: self._value_stats(knob, v)[1],
+                    )
+                    assignment[knob] = value
+                    explored = knob
+        return TunerDecision(
+            assignment=assignment, explored=explored, index=self.decisions
+        )
+
+    def observe(self, decision: TunerDecision, qps: float) -> None:
+        """Credit one executed batch's throughput to its assignment.
+
+        Exploration credits only the explored knob (its sample was taken
+        in incumbent context, so it compares apples-to-apples against
+        the incumbent's own exploitation samples); exploitation credits
+        every knob.
+
+        Convergence is sticky: once declared, further samples refresh
+        the incumbents' estimates (so reports stay current) but never
+        flip an incumbent or reset stability.  Post-convergence batches
+        all run the incumbents, so only their EWMAs keep moving — while
+        the alternatives' estimates stay frozen at whatever machine
+        speed they were measured under; comparing the two again would
+        read global throughput drift as a knob preference.
+        """
+        if not math.isfinite(qps) or qps <= 0.0:
+            return
+        self.observations += 1
+        for knob, value in decision.assignment.items():
+            if decision.explored is not None and knob != decision.explored:
+                continue
+            if knob not in self.knobs or value not in self.knobs[knob]:
+                continue
+            stats = self._value_stats(knob, value)
+            if stats[1] <= 1:
+                # The first sample per value is warm-up (cold executors,
+                # cold memo caches systematically under-measure whichever
+                # value happens to run first); seed with it so the value
+                # counts as tried, but let the second sample *overwrite*
+                # rather than fold, discarding the cold anchor.
+                stats[0] = float(qps)
+            else:
+                stats[0] = (
+                    (1.0 - self.smoothing) * stats[0] + self.smoothing * float(qps)
+                )
+            stats[1] += 1
+        if self.converged:
+            return
+        changed = False
+        for knob, values in self.knobs.items():
+            tried = [
+                (ewma, -i, values[i])
+                for i, (ewma, trials) in enumerate(self._stats[knob])
+                if trials > 0
+            ]
+            if not tried:
+                continue
+            best_ewma, _, best = max(tried)
+            if best == self.incumbent[knob]:
+                continue
+            inc_stats = self._value_stats(knob, self.incumbent[knob])
+            # Hysteresis: an untried incumbent concedes to any data, a
+            # tried one only to a challenger beating it by the margin.
+            if inc_stats[1] == 0 or best_ewma > inc_stats[0] * (
+                1.0 + self.switch_margin
+            ):
+                self.incumbent[knob] = best
+                changed = True
+        self._stable = 0 if changed else self._stable + 1
+
+    # ------------------------------------------------------------------
+    # reporting and persistence
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """The tuner's full decision state (what ``explain()`` surfaces)."""
+        return {
+            "incumbent": dict(self.incumbent),
+            "converged": self.converged,
+            "decisions": self.decisions,
+            "observations": self.observations,
+            "knobs": {
+                name: [
+                    {
+                        "value": value,
+                        "qps_ewma": stats[0],
+                        "trials": stats[1],
+                    }
+                    for value, stats in zip(values, self._stats[name])
+                ]
+                for name, values in self.knobs.items()
+            },
+        }
+
+    def explain_lines(self) -> list[str]:
+        """Human-readable decision summary, one line per knob."""
+        lines = [
+            f"auto-tuner: {self.observations} batches observed, "
+            + ("converged" if self.converged else "exploring")
+        ]
+        for name, values in self.knobs.items():
+            parts = []
+            for value, (ewma, trials) in zip(values, self._stats[name]):
+                mark = "*" if value == self.incumbent[name] else " "
+                parts.append(f"{mark}{value!r}: {ewma:.1f} qps x{trials}")
+            lines.append(f"  {name}: " + ", ".join(parts))
+        return lines
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot for ``Database.save()``."""
+        return {
+            "knobs": {name: list(values) for name, values in self.knobs.items()},
+            "incumbent": dict(self.incumbent),
+            "stats": {
+                name: [[float(e), int(t)] for e, t in stats]
+                for name, stats in self._stats.items()
+            },
+            "decisions": self.decisions,
+            "observations": self.observations,
+            "stable": self._stable,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (knob-name intersection).
+
+        Values learned for knobs that no longer exist (or values no
+        longer offered) are dropped; new knobs keep their fresh state —
+        a reopened database with a different config resumes what still
+        applies instead of failing.
+        """
+        stats = state.get("stats", {})
+        for name, values in self.knobs.items():
+            saved_values = state.get("knobs", {}).get(name)
+            saved_stats = stats.get(name)
+            if saved_values is None or saved_stats is None:
+                continue
+            for value, value_stats in zip(saved_values, saved_stats):
+                if value in values:
+                    self._stats[name][values.index(value)] = [
+                        float(value_stats[0]),
+                        int(value_stats[1]),
+                    ]
+            incumbent = state.get("incumbent", {}).get(name)
+            if incumbent in values:
+                self.incumbent[name] = incumbent
+        self.decisions = int(state.get("decisions", 0))
+        self.observations = int(state.get("observations", 0))
+        self._stable = int(state.get("stable", 0))
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoTuner(knobs={list(self.knobs)}, "
+            f"observations={self.observations}, "
+            f"converged={self.converged}, incumbent={self.incumbent})"
+        )
