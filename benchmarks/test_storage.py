@@ -1,0 +1,143 @@
+"""Bench for the storage engine: incremental snapshots and WAL overhead.
+
+The acceptance contract of the durable storage mode:
+
+* an incremental save after touching 1 of N shards rewrites exactly
+  that shard's archive member and beats a from-scratch full save on
+  wall clock (the whole point of dirty-epoch tracking);
+* WAL logging adds a bounded, measured per-insert overhead (one
+  fsync'd append) and the answers never change.
+
+Headline numbers go to ``BENCH_storage.json`` (path overridable via
+``REPRO_STORAGE_ARTIFACT``) for the CI perf-smoke job.  Wall-clock
+assertions are skippable via ``REPRO_SKIP_PERF_ASSERT`` for congested
+CI runners; the members-rewritten and answer-identity assertions are
+always armed.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ExecConfig, RangeSpec
+from repro.env import env_flag, env_int, env_value
+from repro.geometry.rect import Rect
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+N_SAMPLES = env_int("REPRO_BENCH_SAMPLES", 600)
+SEED = 23
+N_OBJECTS = 160
+SHARDS = 8
+WAL_INSERTS = 40
+ARTIFACT = env_value("REPRO_STORAGE_ARTIFACT", "BENCH_storage.json")
+SKIP_PERF = env_flag("REPRO_SKIP_PERF_ASSERT")
+
+
+def _objects(n: int = N_OBJECTS, base: int = 0) -> list[UncertainObject]:
+    rng = np.random.default_rng(47 + base)
+    centres = rng.uniform(500, 9500, (n, 2))
+    return [
+        UncertainObject(
+            base + i,
+            UniformDensity(BallRegion(centres[i], 200.0), marginal_seed=base + i),
+        )
+        for i in range(n)
+    ]
+
+
+def _config(**overrides) -> ExecConfig:
+    fields = dict(wal=True, shards=SHARDS, mc_samples=N_SAMPLES, seed=SEED)
+    fields.update(overrides)
+    return ExecConfig(**fields)
+
+
+def _spec() -> RangeSpec:
+    return RangeSpec(Rect([2000.0, 2000.0], [8000.0, 8000.0]), 0.4)
+
+
+class TestStorageBench:
+    def test_incremental_save_and_wal_overhead(self, tmp_path):
+        results: dict = {
+            "objects": N_OBJECTS,
+            "shards": SHARDS,
+            "mc_samples": N_SAMPLES,
+            "perf_assert_armed": not SKIP_PERF,
+        }
+
+        # --- incremental vs full save -------------------------------
+        db = Database.create(_objects(), _config(), methods=("utree",))
+        archive = tmp_path / "db"
+        start = time.perf_counter()
+        first = db.save(archive)
+        full_seconds = time.perf_counter() - start
+        assert len(first["written"]) == SHARDS
+
+        db.delete(3)  # touch exactly one shard
+        start = time.perf_counter()
+        second = db.save(archive)
+        incremental_seconds = time.perf_counter() - start
+        assert len(second["written"]) == 1, second
+        assert len(second["skipped"]) == SHARDS - 1
+        results["full_save_seconds"] = full_seconds
+        results["incremental_save_seconds"] = incremental_seconds
+        results["members_rewritten_after_one_touch"] = len(second["written"])
+
+        # A clean save skips everything (pure manifest + GC cost).
+        start = time.perf_counter()
+        third = db.save(archive)
+        results["noop_save_seconds"] = time.perf_counter() - start
+        assert third["written"] == []
+
+        # --- WAL overhead per insert --------------------------------
+        extra = _objects(WAL_INSERTS, base=10_000)
+        start = time.perf_counter()
+        for obj in extra:
+            db.insert(obj)
+        walled = time.perf_counter() - start
+        results["wal_bytes_per_entry"] = db.wal.bytes_logged / max(
+            db.wal.entries_logged, 1
+        )
+        answer_after = db.query(_spec()).sorted_ids()
+        db.close()
+
+        plain = Database.create(
+            _objects(), _config(wal=False), methods=("utree",)
+        )
+        start = time.perf_counter()
+        for obj in extra:
+            plain.insert(obj)
+        unwalled = time.perf_counter() - start
+        results["insert_seconds_with_wal"] = walled / WAL_INSERTS
+        results["insert_seconds_without_wal"] = unwalled / WAL_INSERTS
+        results["wal_overhead_seconds_per_insert"] = (
+            walled - unwalled
+        ) / WAL_INSERTS
+
+        # Durability never changes answers: recover and compare.
+        recovered = Database.open(archive)
+        assert recovered.query(_spec()).sorted_ids() == answer_after
+        assert recovered.last_recovery["wal_entries"] == WAL_INSERTS
+        recovered.close()
+        plain.close()
+        shutil.rmtree(archive)
+
+        with open(ARTIFACT, "w") as fh:
+            json.dump(results, fh, indent=2)
+
+        if SKIP_PERF:
+            pytest.skip(
+                "REPRO_SKIP_PERF_ASSERT set; measured incremental save "
+                f"{incremental_seconds * 1000:.1f}ms vs full "
+                f"{full_seconds * 1000:.1f}ms"
+            )
+        assert incremental_seconds < full_seconds, (
+            f"incremental save ({incremental_seconds * 1000:.1f}ms) should "
+            f"beat a full save ({full_seconds * 1000:.1f}ms)"
+        )

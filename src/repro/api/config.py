@@ -81,6 +81,22 @@ class ExecConfig:
             workload-aware :class:`~repro.exec.tuner.AutoTuner`, which
             converges on method / kernel / executor / parallelism
             choices from observed throughput.  Requires ``batched``.
+        wal: durable storage mode.  :meth:`Database.save` writes an
+            incremental directory archive (per-method / per-shard
+            members, clean ones skipped) instead of one monolithic
+            ``.npz``, and attaches a write-ahead log
+            (:mod:`repro.storage.wal`): every ``insert``/``delete``/
+            ``rebalance`` after the first save is fsync'd to the log
+            before the in-memory mutation, and :meth:`Database.open`
+            replays the log on top of the snapshot.  Off (the default)
+            preserves the seed's single-archive persistence and I/O
+            accounting exactly.  Environment default via ``REPRO_WAL``.
+        reclaim: let each method's :class:`~repro.storage.pager.DataFile`
+            reuse slots freed by ``delete`` (exact-size free list; one
+            page write per reused slot) instead of growing append-only
+            forever.  Off by default — the paper's byte and I/O
+            accounting assumes strict append.  Environment default via
+            ``REPRO_RECLAIM``.
         page_size: simulated page size in bytes.
         mc_samples: Monte-Carlo samples per P_app evaluation.
         seed: base RNG seed; per-object streams derive from
@@ -106,6 +122,8 @@ class ExecConfig:
     pool_probation: int | None = None
     probe_bound: bool = True
     auto_tune: bool = False
+    wal: bool = False
+    reclaim: bool = False
     page_size: int = 4096
     mc_samples: int = 10_000
     seed: int = 0
@@ -194,6 +212,10 @@ class ExecConfig:
             fields["probe_bound"] = repro_env.env_flag("REPRO_PROBE_BOUND")
         if repro_env.env_flag("REPRO_AUTO_TUNE"):
             fields["auto_tune"] = True
+        if repro_env.env_flag("REPRO_WAL"):
+            fields["wal"] = True
+        if repro_env.env_flag("REPRO_RECLAIM"):
+            fields["reclaim"] = True
         fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
         fields.update(overrides)
         return cls(**fields)

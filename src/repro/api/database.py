@@ -27,6 +27,7 @@ full knob matrix).
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -51,6 +52,7 @@ from repro.exec.planner import (
 from repro.exec.shard import ShardedAccessMethod
 from repro.exec.tuner import AutoTuner, TunerDecision
 from repro.storage.bufferpool import BufferPool
+from repro.storage.wal import WriteAheadLog
 from repro.uncertainty.objects import UncertainObject
 
 __all__ = ["Database", "Explanation", "RunResult"]
@@ -79,8 +81,19 @@ def _parse_method_name(name: str) -> tuple[str, str | None]:
 
 # Archive keys the save/open pair speaks (npz entries).
 _META_KEY = "database_meta"
-_FORMAT_OBJECTS = "repro-database-objects-v1"
+# v2: descriptors are a UTF-8 JSON bytes entry, so np.load never needs
+# allow_pickle (untrusted archives cannot execute code on open).
+_FORMAT_OBJECTS = "repro-database-objects-v2"
+_FORMAT_OBJECTS_V1 = "repro-database-objects-v1"
 _FORMAT_UTREE = "repro-database-utree-v1"
+# Durable (wal=True) databases persist as a directory: a manifest, one
+# npz member per method (per shard when sharded) and a write-ahead log.
+# Member files are epoch-versioned and each checkpoint starts a fresh
+# WAL segment, so the atomic manifest replace is the single commit
+# point: a crash at any byte leaves either the old checkpoint (plus its
+# full WAL) or the new one (plus an empty WAL) — never a mix.
+_FORMAT_DIR = "repro-database-dir-v1"
+_MANIFEST_NAME = "MANIFEST.json"
 
 
 def _default_catalog(name: str, dim: int):
@@ -361,6 +374,16 @@ class Database:
             raise ValueError("at least one access method is required")
         self._methods = dict(methods)
         self.config = config
+        # Durability state.  The WAL attaches at the first checkpoint
+        # (save with config.wal=True) or when open() loads a directory
+        # archive; until then mutations are in-memory only, exactly as
+        # before.  _epochs counts mutations per archive member so an
+        # incremental save can skip members that are clean on disk.
+        self.wal: WriteAheadLog | None = None
+        self._replaying = False
+        self._epochs: dict[str, int] = dict.fromkeys(self._member_keys(), 0)
+        # Set by open() after WAL replay: {"wal_entries": n}.
+        self.last_recovery: dict | None = None
         self.planner = planner if planner is not None else self._build_planner()
         # Keyed by (method name, executor backend, parallelism, kernel
         # on/off): per-call overrides and the tuner's decisions select
@@ -452,6 +475,9 @@ class Database:
                 for obj in objects:
                     method.insert(obj)
                 built[name] = method
+        if config.reclaim:
+            for method in built.values():
+                method.data_file.reclaim = True
         return cls(built, config)
 
     @classmethod
@@ -609,22 +635,114 @@ class Database:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+    def _member_keys(self) -> list[str]:
+        """Archive member keys: one per method, or per shard when sharded."""
+        keys: list[str] = []
+        for name, method in self._methods.items():
+            if isinstance(method, ShardedAccessMethod):
+                keys.extend(f"{name}/shard{i}" for i in range(method.shard_count))
+            else:
+                keys.append(name)
+        return keys
+
+    def _bump_member(self, name: str, method) -> None:
+        """Mark the member an update landed in as dirty (epoch += 1)."""
+        if isinstance(method, ShardedAccessMethod):
+            shard = method.last_update_shard
+            if shard is None:  # unknown landing shard: dirty the whole method
+                for i in range(method.shard_count):
+                    key = f"{name}/shard{i}"
+                    self._epochs[key] = self._epochs.get(key, 0) + 1
+            else:
+                key = f"{name}/shard{shard}"
+                self._epochs[key] = self._epochs.get(key, 0) + 1
+        else:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+
+    def _log(self, record: dict) -> None:
+        """Commit one mutation record to the WAL before it is applied.
+
+        A no-op until a WAL is attached (first checkpoint) and during
+        replay (replayed operations are already on the log).
+        """
+        if self.wal is not None and not self._replaying:
+            self.wal.commit(record)
+
+    def _attach_wal(self, directory: str, wal_name: str) -> None:
+        """Point the log at ``directory/wal_name`` (closing any old segment)."""
+        path = os.path.join(directory, wal_name)
+        if self.wal is not None:
+            if self.wal.path == path:
+                return
+            self.wal.close()
+        self.wal = WriteAheadLog(path)
+
+    def _apply_logged(self, entry: dict) -> None:
+        """Re-apply one replayed WAL record through the public API."""
+        from repro.storage.serialize import density_from_descriptor
+
+        op = entry.get("op")
+        if op == "insert":
+            self.insert(
+                UncertainObject(
+                    int(entry["oid"]), density_from_descriptor(entry["pdf"])
+                )
+            )
+        elif op == "delete":
+            self.delete(int(entry["oid"]))
+        elif op == "rebalance":
+            self.rebalance(
+                entry.get("method"), min_skew=float(entry.get("min_skew", 0.0))
+            )
+        else:
+            raise ValueError(f"unknown WAL operation {op!r}")
+
+    # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def insert(self, obj: UncertainObject):
         """Insert into every method; returns the (single) update cost.
 
         With several registered methods a dict of per-method costs is
-        returned instead.
+        returned instead.  With a WAL attached the operation is logged
+        and fsynced *before* any structure mutates, so an acknowledged
+        insert survives a crash and an unacknowledged one is never
+        observable after recovery.
         """
-        costs = {name: m.insert(obj) for name, m in self._methods.items()}
+        if obj.dim != self.dim:
+            # Validate before logging: a rejected insert must never
+            # reach the WAL (replay would re-raise on open).
+            raise ValueError(
+                f"object dimensionality {obj.dim} != database dimensionality {self.dim}"
+            )
+        if self.wal is not None and not self._replaying:
+            from repro.storage.serialize import density_descriptor
+
+            self._log(
+                {
+                    "op": "insert",
+                    "oid": int(obj.oid),
+                    "pdf": density_descriptor(obj.pdf),
+                }
+            )
+        costs = {}
+        for name, m in self._methods.items():
+            costs[name] = m.insert(obj)
+            self._bump_member(name, m)
         if len(costs) == 1:
             return next(iter(costs.values()))
         return costs
 
     def delete(self, oid: int):
         """Delete from every method; single outcome or per-method dict."""
-        outcomes = {name: m.delete(oid) for name, m in self._methods.items()}
+        self._log({"op": "delete", "oid": int(oid)})
+        outcomes = {}
+        for name, m in self._methods.items():
+            outcomes[name] = m.delete(oid)
+            if outcomes[name]:
+                self._bump_member(name, m)
         if len(outcomes) == 1:
             return next(iter(outcomes.values()))
         return outcomes
@@ -651,6 +769,7 @@ class Database:
             Per-method report: objects carried over, the update traffic
             that triggered the rebuild, and skew before/after.
         """
+        self._log({"op": "rebalance", "method": method, "min_skew": float(min_skew)})
         names = [method] if method is not None else list(self._methods)
         report: dict[str, dict] = {}
         for name in names:
@@ -685,8 +804,13 @@ class Database:
                 filter_kernel="on" if _kernel_built(old) else "off",
             )
             _set_kernel(rebuilt, kernel_on)
+            rebuilt.data_file.reclaim = self.config.reclaim
             self._methods[name] = rebuilt
             self._drop_executors(name)
+            # The rebuild rewrote every shard from scratch.
+            for i in range(rebuilt.shard_count):
+                key = f"{name}/shard{i}"
+                self._epochs[key] = self._epochs.get(key, 0) + 1
             report[name] = {
                 "objects": len(objects),
                 "update_traffic": traffic,
@@ -800,6 +924,8 @@ class Database:
             closer = getattr(executor, "close", None)
             if closer is not None:
                 closer()
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -1135,24 +1261,45 @@ class Database:
         if tuner_state and db.tuner is not None:
             db.tuner.load_state(tuner_state)
 
-    def save(self, path) -> None:
-        """Persist the database to one ``.npz`` archive.
+    def save(self, path):
+        """Persist the database.
 
-        A monolithic single-U-tree database uses the fitted-summary
-        archive of :func:`repro.storage.serialize.save_utree` (no CFB
-        re-fitting on open).  Every other shape — sharded methods, U-PCR,
-        scans, multi-method databases — stores the object set (ids + pdf
+        With ``config.wal=False`` (the default) this writes one ``.npz``
+        archive, exactly as before — atomically now (temp file +
+        ``os.replace``), so a crash mid-save never clobbers the previous
+        archive.  A monolithic single-U-tree database uses the
+        fitted-summary archive of
+        :func:`repro.storage.serialize.save_utree` (no CFB re-fitting on
+        open).  Every other shape — sharded methods, U-PCR, scans,
+        multi-method databases — stores the object set (ids + pdf
         descriptors) plus the config, and :meth:`open` rebuilds the
         structures deterministically; answers round-trip bit-identically
         (P_app streams derive from ``(seed, oid)``), while I/O accounting
         may differ from the pre-save instance when the original insert
         order did (the same caveat as ``load_utree``).
 
+        With ``config.wal=True`` the target is a *directory*: a manifest,
+        one ``.npz`` member per method (per shard when sharded) and a
+        write-ahead log.  Saves are incremental — members whose dirty
+        epoch matches the manifest's are skipped — and each successful
+        checkpoint truncates the WAL.  From the first such save on,
+        every mutation is logged durably before it is applied, and
+        :meth:`open` replays the log over the checkpoint.  Returns a
+        ``{"path", "written", "skipped"}`` report in this mode.
+
         Only the built-in pdf families round-trip; custom densities raise
         :class:`~repro.storage.serialize.SerializationError` — tabulate
         them first.
         """
-        from repro.storage.serialize import density_descriptor, save_utree
+        from repro.storage.serialize import (
+            atomic_savez,
+            density_descriptor,
+            pack_json,
+            save_utree,
+        )
+
+        if self.config.wal:
+            return self._save_incremental(path)
 
         if self.method_names == ["utree"] and not isinstance(
             self._methods["utree"], ShardedAccessMethod
@@ -1162,13 +1309,13 @@ class Database:
                 path,
                 extra={_META_KEY: self._meta(_FORMAT_UTREE)},
             )
-            return
+            return None
 
         first = next(iter(self._methods.values()))
         records = sorted(_live_records(first), key=lambda r: r.oid)
         seen: set[int] = set()
         oids: list[int] = []
-        descriptors: list[str] = []
+        descriptors: list[dict] = []
         data_file = first.data_file
         for record in records:
             if record.oid in seen:  # sharded children never overlap, but be safe
@@ -1176,14 +1323,119 @@ class Database:
             seen.add(record.oid)
             obj = data_file.peek(record.address)
             oids.append(record.oid)
-            descriptors.append(json.dumps(density_descriptor(obj.pdf)))
-        np.savez_compressed(
+            descriptors.append(density_descriptor(obj.pdf))
+        atomic_savez(
             path,
             **{_META_KEY: self._meta(_FORMAT_OBJECTS)},
             dim=np.int64(self.dim),
             oids=np.array(oids, dtype=np.int64),
-            descriptors=np.array(descriptors, dtype=object),
+            descriptors=pack_json(descriptors),
         )
+        return None
+
+    def _member_objects(self, method, shard: int | None) -> list:
+        """``(oid, object)`` pairs of one archive member, oid-sorted."""
+        source = method.shards[shard] if shard is not None else method
+        records = sorted(_live_records(source), key=lambda r: r.oid)
+        data_file = method.data_file
+        return [(r.oid, data_file.peek(r.address)) for r in records]
+
+    def _save_incremental(self, path) -> dict:
+        """Checkpoint into a directory archive, rewriting dirty members only.
+
+        Crash protocol: dirty members land first, under epoch-versioned
+        filenames that the current manifest never references; then the
+        manifest is atomically replaced, switching to the new member set
+        and naming a fresh (empty) WAL segment in one step.  A crash
+        before the replace leaves the old checkpoint plus its full WAL; a
+        crash after it leaves the new checkpoint with nothing to replay.
+        Stale member files and WAL segments are garbage-collected only
+        after the replace has landed.
+        """
+        from repro.storage.serialize import (
+            atomic_savez,
+            atomic_write_text,
+            density_descriptor,
+            pack_json,
+        )
+
+        root = os.fspath(path)
+        os.makedirs(root, exist_ok=True)
+        manifest_path = os.path.join(root, _MANIFEST_NAME)
+        previous: dict = {}
+        if os.path.exists(manifest_path):
+            with open(manifest_path, encoding="utf-8") as fh:
+                previous = json.load(fh)
+            if previous.get("format") != _FORMAT_DIR:
+                raise ValueError(
+                    f"{manifest_path} is not a {_FORMAT_DIR} manifest; refusing "
+                    "to overwrite a foreign directory"
+                )
+        old_members: dict[str, dict] = previous.get("members", {})
+        checkpoint = int(previous.get("checkpoint", -1)) + 1
+        written: list[str] = []
+        skipped: list[str] = []
+        members: dict[str, dict] = {}
+        for name, method in self._methods.items():
+            if isinstance(method, ShardedAccessMethod):
+                parts = [
+                    (f"{name}/shard{i}", i) for i in range(method.shard_count)
+                ]
+            else:
+                parts = [(name, None)]
+            for key, shard in parts:
+                epoch = self._epochs.setdefault(key, 0)
+                old = old_members.get(key)
+                if (
+                    old is not None
+                    and int(old["epoch"]) == epoch
+                    and os.path.exists(os.path.join(root, old["file"]))
+                ):
+                    members[key] = {"file": old["file"], "epoch": epoch}
+                    skipped.append(key)
+                    continue
+                safe = key.replace("/", ".").replace("@", "-")
+                filename = f"{safe}.e{epoch}.npz"
+                pairs = self._member_objects(method, shard)
+                atomic_savez(
+                    os.path.join(root, filename),
+                    dim=np.int64(self.dim),
+                    oids=np.array([oid for oid, _ in pairs], dtype=np.int64),
+                    descriptors=pack_json(
+                        [density_descriptor(obj.pdf) for _, obj in pairs]
+                    ),
+                )
+                members[key] = {"file": filename, "epoch": epoch}
+                written.append(key)
+        wal_name = f"wal.{checkpoint}.log"
+        manifest = {
+            "format": _FORMAT_DIR,
+            "checkpoint": checkpoint,
+            "meta": json.loads(self._meta(_FORMAT_DIR)),
+            "members": members,
+            "wal": wal_name,
+        }
+        atomic_write_text(manifest_path, json.dumps(manifest, sort_keys=True))
+        # Committed: mutations from here on log to the fresh segment.
+        self._attach_wal(root, wal_name)
+        self._collect_garbage(root, members, wal_name)
+        return {"path": root, "written": written, "skipped": skipped}
+
+    @staticmethod
+    def _collect_garbage(root: str, members: dict, wal_name: str) -> None:
+        """Drop member/WAL files the just-committed manifest no longer uses."""
+        import re
+
+        keep = {member["file"] for member in members.values()}
+        keep.add(wal_name)
+        ours = re.compile(r"(.+\.e\d+\.npz|wal\.\d+\.log)$")
+        for filename in os.listdir(root):
+            if filename in keep or not ours.fullmatch(filename):
+                continue
+            try:
+                os.unlink(os.path.join(root, filename))
+            except OSError:  # pragma: no cover - GC is best-effort
+                pass
 
     @classmethod
     def open(cls, path, config: ExecConfig | None = None) -> "Database":
@@ -1191,15 +1443,32 @@ class Database:
 
         ``config`` overrides the archived execution config (the archive's
         is used when omitted).  Plain ``save_utree`` archives open too,
-        as a single-U-tree database under default config.
+        as a single-U-tree database under default config.  A directory
+        archive (saved under ``config.wal=True``) is opened from its
+        latest checkpoint, then the write-ahead log is replayed over it —
+        ``db.last_recovery["wal_entries"]`` reports how many logged
+        operations recovery re-applied.
         """
         from repro.core.catalog import UCatalog
-        from repro.storage.serialize import density_from_descriptor, load_utree
+        from repro.storage.serialize import (
+            SerializationError,
+            density_from_descriptor,
+            load_utree,
+            unpack_json,
+        )
 
-        with np.load(path, allow_pickle=True) as archive:
+        if os.path.isdir(path):
+            return cls._open_directory(path, config)
+
+        with np.load(path) as archive:
             meta = None
             if _META_KEY in archive:
                 meta = json.loads(str(archive[_META_KEY]))
+            if meta is not None and meta.get("format") == _FORMAT_OBJECTS_V1:
+                raise SerializationError(
+                    "this archive uses the v1 object format (pickled "
+                    "descriptors); re-save it with a current build"
+                )
             if meta is not None and meta.get("format") == _FORMAT_OBJECTS:
                 if config is None:
                     config = ExecConfig.from_json(json.dumps(meta["config"]))
@@ -1209,10 +1478,10 @@ class Database:
                     for name, values in meta.get("catalogs", {}).items()
                 }
                 objects = [
-                    UncertainObject(
-                        int(oid), density_from_descriptor(json.loads(doc))
+                    UncertainObject(int(oid), density_from_descriptor(doc))
+                    for oid, doc in zip(
+                        archive["oids"], unpack_json(archive["descriptors"])
                     )
-                    for oid, doc in zip(archive["oids"], archive["descriptors"])
                 ]
                 db = cls.create(
                     objects,
@@ -1248,4 +1517,78 @@ class Database:
         )
         db = cls({"utree": tree}, config)
         cls._restore_learned(db, meta)
+        return db
+
+    @classmethod
+    def _open_directory(cls, path, config: ExecConfig | None) -> "Database":
+        """Open a WAL-backed directory archive: checkpoint + log replay."""
+        from repro.core.catalog import UCatalog
+        from repro.storage.serialize import density_from_descriptor, unpack_json
+
+        root = os.fspath(path)
+        manifest_path = os.path.join(root, _MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise ValueError(
+                f"{root} has no {_MANIFEST_NAME}; not a database directory"
+            )
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != _FORMAT_DIR:
+            raise ValueError(
+                f"{manifest_path} declares {manifest.get('format')!r}, "
+                f"expected {_FORMAT_DIR}"
+            )
+        meta = manifest["meta"]
+        if config is None:
+            config = ExecConfig.from_json(json.dumps(meta["config"]))
+        if not config.wal:
+            raise ValueError(
+                "directory archives are WAL-backed; open them with a "
+                "wal=True config (or omit config to use the archived one)"
+            )
+        method_names = tuple(meta["methods"])
+        first = method_names[0]
+        # Every method indexes the same object set, so loading the first
+        # method's member(s) recovers it; the others rebuild from it.
+        objects_by_oid: dict[int, UncertainObject] = {}
+        dim: int | None = None
+        for key, member in manifest["members"].items():
+            if key != first and not key.startswith(first + "/"):
+                continue
+            with np.load(os.path.join(root, member["file"])) as archive:
+                dim = int(archive["dim"])
+                for oid, doc in zip(
+                    archive["oids"], unpack_json(archive["descriptors"])
+                ):
+                    objects_by_oid[int(oid)] = UncertainObject(
+                        int(oid), density_from_descriptor(doc)
+                    )
+        if dim is None:  # pragma: no cover - manifest always lists members
+            raise ValueError(f"manifest lists no members for method {first!r}")
+        objects = [objects_by_oid[oid] for oid in sorted(objects_by_oid)]
+        catalogs = {
+            name: UCatalog(np.asarray(values))
+            for name, values in meta.get("catalogs", {}).items()
+        }
+        db = cls.create(
+            objects,
+            config,
+            methods=method_names,
+            catalog=catalogs or None,
+            dim=dim,
+        )
+        cls._restore_learned(db, meta)
+        db._epochs = {
+            key: int(member["epoch"])
+            for key, member in manifest["members"].items()
+        }
+        db._attach_wal(root, manifest["wal"])
+        entries = db.wal.replay()
+        db._replaying = True
+        try:
+            for entry in entries:
+                db._apply_logged(entry)
+        finally:
+            db._replaying = False
+        db.last_recovery = {"wal_entries": len(entries)}
         return db

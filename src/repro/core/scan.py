@@ -113,6 +113,8 @@ class SequentialScan:
             if record.oid == oid:
                 if self.kernel is not None:
                     self.kernel.release(record.row)
+                # Feed the data file's free list (no-op unless reclaim is on).
+                self.data_file.release(record.address)
                 del self._records[i]
                 return True
         return False

@@ -263,6 +263,9 @@ class UTree:
             return None
         if self.kernel is not None and matched:
             self.kernel.release(matched[0].row)
+        if matched:
+            # Feed the data file's free list (a no-op unless reclaim is on).
+            self.data_file.release(matched[0].address)
         del self._profiles[oid]
         reads, writes = self.io.delta(snapshot)
         return UpdateCost(io_reads=reads, io_writes=writes, cpu_seconds=0.0)

@@ -41,6 +41,9 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_POOL_PROBATION": "2Q probation FIFO frames (ExecConfig.pool_probation)",
     "REPRO_PROBE_BOUND": "latency-bounded shard probing on/off (ExecConfig.probe_bound)",
     "REPRO_AUTO_TUNE": "workload-aware auto-tuner on/off (ExecConfig.auto_tune)",
+    "REPRO_WAL": "write-ahead-logged durable saves on/off (ExecConfig.wal)",
+    "REPRO_RECLAIM": "data-file free-slot reuse on/off (ExecConfig.reclaim)",
+    "REPRO_FAULT_EXHAUSTIVE": "exhaustive end-to-end crash sweep in the fault suite",
     "REPRO_SKIP_PERF_ASSERT": "skip wall-clock perf contracts (CI correctness matrix)",
     "REPRO_BENCH_SAMPLES": "Monte-Carlo budget for benchmark smoke runs",
     "REPRO_BENCH_ARTIFACT": "refinement-engine benchmark artifact path",
@@ -48,6 +51,7 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_FILTER_ARTIFACT": "filter-kernel benchmark artifact path",
     "REPRO_MULTICORE_ARTIFACT": "multicore benchmark artifact path",
     "REPRO_AUTOTUNE_ARTIFACT": "autotune benchmark artifact path",
+    "REPRO_STORAGE_ARTIFACT": "storage-engine benchmark artifact path",
 }
 
 _TRUE_WORDS = ("1", "true", "yes", "on")

@@ -368,6 +368,10 @@ class ShardedAccessMethod:
         # skew signal Database.rebalance() consumes.
         self.insert_traffic = [0] * len(self.shards)
         self.delete_traffic = [0] * len(self.shards)
+        # The shard the most recent successful insert/delete touched —
+        # the facade's per-shard dirty-epoch tracking reads this to
+        # invalidate exactly one incremental-snapshot member per update.
+        self.last_update_shard: int | None = None
         self.io = CompositeIOCounter(
             [shard.io for shard in self.shards] + [data_file.io]
         )
@@ -577,6 +581,7 @@ class ShardedAccessMethod:
         result = self.shards[shard].insert(obj)
         self.shard_sizes[shard] += 1
         self.insert_traffic[shard] += 1
+        self.last_update_shard = shard
         box = self.shard_bounds[shard]
         self.shard_bounds[shard] = obj.mbr if box is None else box.union(obj.mbr)
         self.level_bounds[shard] = _union_profile(
@@ -596,6 +601,7 @@ class ShardedAccessMethod:
             if outcome:
                 self.shard_sizes[shard] -= 1
                 self.delete_traffic[shard] += 1
+                self.last_update_shard = shard
                 return outcome
             return None
         for i, shard in enumerate(self.shards):
@@ -603,6 +609,7 @@ class ShardedAccessMethod:
             if outcome:
                 self.shard_sizes[i] -= 1
                 self.delete_traffic[i] += 1
+                self.last_update_shard = i
                 return outcome
         return None
 

@@ -1,7 +1,15 @@
 """Simulated paged storage: I/O counting, buffer pool, data files, layouts."""
 
 from repro.storage.bufferpool import BufferPool
-from repro.storage.layout import NodeLayout, rstar_layout, upcr_layout, utree_layout
+from repro.storage.layout import (
+    WAL_HEADER_BYTES,
+    NodeLayout,
+    record_span_pages,
+    rstar_layout,
+    upcr_layout,
+    utree_layout,
+    wal_entry_bytes,
+)
 from repro.storage.pager import (
     DEFAULT_PAGE_SIZE,
     DataFile,
@@ -11,6 +19,7 @@ from repro.storage.pager import (
     PageStore,
 )
 from repro.storage.shm import SharedArena
+from repro.storage.wal import WalError, WriteAheadLog
 
 # NOTE: repro.storage.serialize is intentionally NOT imported here — it
 # depends on repro.core (which itself imports repro.storage.pager) and an
@@ -28,7 +37,12 @@ __all__ = [
     "NodeLayout",
     "PageStore",
     "SharedArena",
+    "WAL_HEADER_BYTES",
+    "WalError",
+    "WriteAheadLog",
+    "record_span_pages",
     "rstar_layout",
     "upcr_layout",
     "utree_layout",
+    "wal_entry_bytes",
 ]

@@ -25,17 +25,23 @@ from dataclasses import dataclass
 __all__ = [
     "FLOAT_SIZE",
     "POINTER_SIZE",
+    "WAL_HEADER_BYTES",
     "NodeLayout",
     "data_records_per_page",
     "detail_record_bytes",
     "filter_kernel_row_bytes",
+    "record_span_pages",
     "rstar_layout",
     "upcr_layout",
     "utree_layout",
+    "wal_entry_bytes",
 ]
 
 FLOAT_SIZE = 8
 POINTER_SIZE = 4
+
+# One write-ahead-log entry is [u32 payload_length][u32 crc32][payload].
+WAL_HEADER_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -139,6 +145,36 @@ def data_records_per_page(dim: int, page_size: int = 4096) -> int:
     if page_size <= 0:
         raise ValueError("page size must be positive")
     return max(1, page_size // detail_record_bytes(dim))
+
+
+def wal_entry_bytes(payload_bytes: int) -> int:
+    """On-disk size of one WAL entry carrying ``payload_bytes`` of JSON.
+
+    The write-ahead log (:mod:`repro.storage.wal`) is length-prefixed and
+    checksummed: an eight-byte header per entry.  Keeping the formula
+    here (with the page/record layouts) makes the durability overhead of
+    a workload derivable in the same byte conventions as the paper's I/O
+    accounting — and trivially zero with the WAL off.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    return WAL_HEADER_BYTES + payload_bytes
+
+
+def record_span_pages(size_bytes: int, page_size: int = 4096) -> int:
+    """How many data pages a ``size_bytes`` record occupies (>= 1).
+
+    Records at most one page long pack first-fit into shared pages; a
+    larger record spills across ``ceil(size / page_size)`` dedicated
+    pages, each charged one write on append (and one read on fetch).
+    ``DataFile`` uses this so byte and I/O accounting agree for records
+    of any size.
+    """
+    if size_bytes <= 0:
+        raise ValueError("size_bytes must be positive")
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    return max(1, -(-size_bytes // page_size))
 
 
 def _check_dim(dim: int) -> None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.storage.bufferpool import BufferPool, charge_page_read
+from repro.storage.layout import record_span_pages
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
@@ -172,15 +173,27 @@ class DiskAddress:
 @dataclass
 class _DataPage:
     payloads: list[Any] = field(default_factory=list)
+    # Per-slot record sizes; a released slot holds the negated size (the
+    # tombstone keeps byte accounting auditable after reuse churn).
+    slot_bytes: list[int] = field(default_factory=list)
     used_bytes: int = 0
 
 
 class DataFile:
-    """An append-only file of object detail records.
+    """A paged file of object detail records, append-mostly.
 
     Records are packed into pages first-fit in arrival order, mimicking how
     the paper stores "the details of o.ur and the parameters of o.pdf" at a
-    disk address referenced from the leaf entry.
+    disk address referenced from the leaf entry.  Records longer than one
+    page spill across ``ceil(size / page_size)`` dedicated pages (one write
+    charged per spilled page; fetching charges the same span).
+
+    With ``reclaim`` enabled, :meth:`release` returns a deleted record's
+    slot to a per-size free list and :meth:`append` reuses an exact-size
+    slot before growing the file — one page write per reused page, since
+    the slot's page is physically rewritten.  The default (``reclaim``
+    off) keeps the seed's strictly-append behavior and I/O counts
+    byte-for-byte: ``release`` is a no-op and nothing is ever reused.
     """
 
     def __init__(
@@ -189,36 +202,112 @@ class DataFile:
         page_size: int = DEFAULT_PAGE_SIZE,
         *,
         pool: BufferPool | None = None,
+        reclaim: bool = False,
     ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self.io = io if io is not None else IOCounter()
         self.pool = pool
+        self.reclaim = reclaim
         self._pool_file_id = pool.register_file() if pool is not None else -1
         self._pages: list[_DataPage] = []
+        self._free: dict[int, list[DiskAddress]] = {}  # size -> LIFO of slots
+        self._live_records = 0
+        self._live_bytes = 0
+        self._free_bytes = 0
+        self.reclaimed_slots = 0  # how many appends were served by the free list
 
     def append(self, payload: Any, size_bytes: int) -> DiskAddress:
         """Store ``payload`` (conceptually ``size_bytes`` long); return its address."""
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
-        record = min(size_bytes, self.page_size)
-        if not self._pages or self._pages[-1].used_bytes + record > self.page_size:
+        span = record_span_pages(size_bytes, self.page_size)
+        if self.reclaim and size_bytes <= self.page_size:
+            stack = self._free.get(size_bytes)
+            if stack:
+                address = stack.pop()
+                page = self._pages[address.page_id]
+                page.payloads[address.slot] = payload
+                page.slot_bytes[address.slot] = size_bytes
+                self._free_bytes -= size_bytes
+                self._live_records += 1
+                self._live_bytes += size_bytes
+                self.reclaimed_slots += 1
+                # The slot's page is physically rewritten in place.
+                self.io.record_write()
+                if self.pool is not None:
+                    self.pool.admit(self._pool_file_id, address.page_id)
+                return address
+        if span > 1:
+            # Spilled record: dedicated pages, one write each, payload
+            # addressed at the first page.  The pages are marked full so
+            # later small records never interleave with the spill run.
+            first = len(self._pages)
+            for _ in range(span):
+                page = _DataPage(used_bytes=self.page_size)
+                self._pages.append(page)
+                self.io.record_write()
+                if self.pool is not None:
+                    self.pool.admit(self._pool_file_id, len(self._pages) - 1)
+            head = self._pages[first]
+            head.payloads.append(payload)
+            head.slot_bytes.append(size_bytes)
+            self._live_records += 1
+            self._live_bytes += size_bytes
+            return DiskAddress(first, 0)
+        if not self._pages or self._pages[-1].used_bytes + size_bytes > self.page_size:
             self._pages.append(_DataPage())
             self.io.record_write()
             if self.pool is not None:
                 self.pool.admit(self._pool_file_id, len(self._pages) - 1)
         page = self._pages[-1]
         page.payloads.append(payload)
-        page.used_bytes += record
+        page.slot_bytes.append(size_bytes)
+        page.used_bytes += size_bytes
+        self._live_records += 1
+        self._live_bytes += size_bytes
         return DiskAddress(len(self._pages) - 1, len(page.payloads) - 1)
+
+    def release(self, address: DiskAddress) -> bool:
+        """Return a record's slot to the free list; True if reclaimed.
+
+        No I/O is charged: freeing updates the in-memory allocator map,
+        and the physical page write is charged when the slot is reused.
+        A no-op (returning False) with ``reclaim`` off — the seed's
+        append-only accounting stays untouched — or when the slot was
+        already released.
+        """
+        if not self.reclaim:
+            return False
+        page = self._pages[address.page_id]
+        size = page.slot_bytes[address.slot]
+        if size <= 0:
+            return False
+        page.payloads[address.slot] = None
+        page.slot_bytes[address.slot] = -size
+        self._live_records -= 1
+        self._live_bytes -= size
+        if size <= self.page_size:
+            self._free.setdefault(size, []).append(address)
+            self._free_bytes += size
+        return True
+
+    def _slot_span(self, address: DiskAddress) -> int:
+        """Pages the record at ``address`` occupies (raises if released)."""
+        page = self._pages[address.page_id]
+        size = page.slot_bytes[address.slot]
+        if size <= 0:
+            raise KeyError(f"record at {address!r} was released")
+        return record_span_pages(size, self.page_size)
 
     def _charge_read(self, page_id: int) -> None:
         charge_page_read(self.io, self.pool, self._pool_file_id, page_id)
 
     def read(self, address: DiskAddress) -> Any:
-        """Fetch one record, costing one page read (unless pooled)."""
-        self._charge_read(address.page_id)
+        """Fetch one record, costing one page read per spanned page (unless pooled)."""
+        for page_id in range(address.page_id, address.page_id + self._slot_span(address)):
+            self._charge_read(page_id)
         return self._pages[address.page_id].payloads[address.slot]
 
     def peek(self, address: DiskAddress) -> Any:
@@ -227,10 +316,16 @@ class DataFile:
         For out-of-band access — serialisation, debugging — never for
         query execution, which must account every page touch.
         """
+        self._slot_span(address)  # released-slot guard
         return self._pages[address.page_id].payloads[address.slot]
 
     def read_page(self, page_id: int) -> list[Any]:
-        """Fetch every record on a page with a single page read (unless pooled)."""
+        """Fetch a page's slot array with a single page read (unless pooled).
+
+        Slot positions are preserved (callers index the result by
+        ``DiskAddress.slot``); released slots read as ``None`` — they are
+        never candidates, so refinement never dereferences them.
+        """
         self._charge_read(page_id)
         return list(self._pages[page_id].payloads)
 
@@ -240,8 +335,23 @@ class DataFile:
 
     @property
     def record_count(self) -> int:
-        """Total detail records stored across all pages."""
-        return sum(len(page.payloads) for page in self._pages)
+        """Live detail records stored across all pages."""
+        return self._live_records
+
+    @property
+    def live_bytes(self) -> int:
+        """Exact bytes of live records (spill-aware, excludes freed slots)."""
+        return self._live_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes sitting on the free list, awaiting reuse."""
+        return self._free_bytes
+
+    @property
+    def free_slots(self) -> int:
+        """Released slots currently available for exact-size reuse."""
+        return sum(len(stack) for stack in self._free.values())
 
     @property
     def records_per_page(self) -> float:
@@ -259,12 +369,15 @@ class DataFile:
         return self.page_count * self.page_size
 
     def peek_page(self, page_id: int) -> list[Any]:
-        """Every record on a page without charging any I/O.
+        """Every *live* record on a page without charging any I/O.
 
         Out-of-band access only (serialisation, worker prewarm) — query
-        execution must go through :meth:`read_page`.
+        execution must go through :meth:`read_page`.  Unlike
+        :meth:`read_page` this skips released slots: its callers iterate
+        records rather than indexing by slot.
         """
-        return list(self._pages[page_id].payloads)
+        page = self._pages[page_id]
+        return [p for p, size in zip(page.payloads, page.slot_bytes) if size > 0]
 
     def reader_view(
         self, *, io: IOCounter | None = None, latency_seconds: float = 0.0
@@ -308,8 +421,9 @@ class DataFileView:
             time.sleep(self.latency_seconds)
 
     def read(self, address: DiskAddress) -> Any:
-        """Fetch one record, costing one page read on the view's counter."""
-        self._charge()
+        """Fetch one record, costing one page read per spanned page on the view's counter."""
+        for _ in range(self.base._slot_span(address)):
+            self._charge()
         return self.base._pages[address.page_id].payloads[address.slot]
 
     def read_page(self, page_id: int) -> list[Any]:

@@ -19,6 +19,8 @@ subclasses raise a clear error; tabulate them first.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 import numpy as np
@@ -39,8 +41,13 @@ from repro.uncertainty.pdfs import (
 from repro.uncertainty.regions import BallRegion, BoxRegion, UncertaintyRegion
 
 __all__ = [
+    "SerializationError",
+    "atomic_savez",
+    "atomic_write_text",
     "density_descriptor",
     "density_from_descriptor",
+    "pack_json",
+    "unpack_json",
     "save_utree",
     "load_utree",
 ]
@@ -48,6 +55,78 @@ __all__ = [
 
 class SerializationError(ValueError):
     """Raised for objects that cannot be round-tripped."""
+
+
+# ----------------------------------------------------------------------
+# archive primitives: atomic writes, pickle-free JSON entries
+# ----------------------------------------------------------------------
+
+def atomic_savez(path, **entries) -> str:
+    """``np.savez_compressed`` with crash-safe replace semantics.
+
+    A direct ``np.savez_compressed(path, ...)`` truncates the target
+    first, so a crash mid-save destroys the previous good archive.  This
+    writes to a temporary file in the *same directory* (so the final
+    rename cannot cross filesystems), fsyncs it, and ``os.replace``\\ s it
+    into place — the archive at ``path`` is always either the old
+    complete version or the new complete version.  Returns the final
+    path (with the ``.npz`` suffix numpy would have added).
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **entries)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write a small text file with the same replace semantics as
+    :func:`atomic_savez` (temp sibling, fsync, ``os.replace``)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".txt.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def pack_json(document: Any) -> np.ndarray:
+    """A JSON document as a ``uint8`` array (a pickle-free npz entry).
+
+    Object-dtype arrays force ``np.load(..., allow_pickle=True)``, which
+    executes arbitrary code from untrusted archives.  Structured
+    metadata is stored as UTF-8 JSON bytes instead, so every load site
+    runs with pickling disabled.
+    """
+    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
+    return np.frombuffer(encoded, dtype=np.uint8)
+
+
+def unpack_json(entry: np.ndarray) -> Any:
+    """Inverse of :func:`pack_json`."""
+    return json.loads(np.asarray(entry, dtype=np.uint8).tobytes().decode("utf-8"))
 
 
 # ----------------------------------------------------------------------
@@ -147,15 +226,19 @@ def density_from_descriptor(doc: dict[str, Any]) -> Density:
 # tree save / load
 # ----------------------------------------------------------------------
 
-_FORMAT_VERSION = 1
+# v2: descriptors are a single UTF-8 JSON bytes entry (no object arrays,
+# so loads never enable pickling) and saves are atomic-replace.
+_FORMAT_VERSION = 2
 
 
 def save_utree(tree: UTree, path, *, extra: dict[str, Any] | None = None) -> None:
-    """Write a built U-tree to ``path`` (a ``.npz`` archive).
+    """Write a built U-tree to ``path`` (a ``.npz`` archive, atomically).
 
     ``extra`` adds caller-owned entries to the archive (the
     :class:`repro.api.Database` facade stores its config there); keys
-    must not collide with the format's own.
+    must not collide with the format's own.  The archive is written to a
+    temporary sibling and renamed into place, so a crash mid-save leaves
+    any previous archive untouched.
     """
     records: list[UTreeLeafRecord] = [e.data for e in tree.engine.leaf_entries()]
     records.sort(key=lambda r: r.oid)
@@ -175,7 +258,7 @@ def save_utree(tree: UTree, path, *, extra: dict[str, Any] | None = None) -> Non
         inner[i, 0] = record.inner.intercept
         inner[i, 1] = record.inner.slope
         obj = _object_for(tree, record)
-        descriptors.append(json.dumps(density_descriptor(obj.pdf)))
+        descriptors.append(density_descriptor(obj.pdf))
 
     extra = dict(extra) if extra else {}
     reserved = {
@@ -185,7 +268,7 @@ def save_utree(tree: UTree, path, *, extra: dict[str, Any] | None = None) -> Non
     clashes = reserved & extra.keys()
     if clashes:
         raise ValueError(f"extra archive keys clash with the format: {sorted(clashes)}")
-    np.savez_compressed(
+    atomic_savez(
         path,
         **extra,
         format_version=np.int64(_FORMAT_VERSION),
@@ -196,7 +279,7 @@ def save_utree(tree: UTree, path, *, extra: dict[str, Any] | None = None) -> Non
         mbrs=mbrs,
         outer=outer,
         inner=inner,
-        descriptors=np.array(descriptors, dtype=object),
+        descriptors=pack_json(descriptors),
         # The mbrs/outer/inner stacks above ARE the columnar filter-kernel
         # sidecar; this flag additionally round-trips whether the saved
         # tree ran with the kernel enabled.
@@ -230,10 +313,14 @@ def load_utree(path, estimator=None, *, filter_kernel=None, pool=None) -> UTree:
     from repro.env import env_value
     from repro.index.bulkload import bulk_load
 
-    with np.load(path, allow_pickle=True) as archive:
+    with np.load(path) as archive:
         version = int(archive["format_version"])
         if version != _FORMAT_VERSION:
-            raise SerializationError(f"unsupported archive version {version}")
+            raise SerializationError(
+                f"unsupported archive version {version}; version 1 archives "
+                "stored pickled descriptor arrays — re-save them with the "
+                "current library to get the hardened JSON format"
+            )
         dim = int(archive["dim"])
         page_size = int(archive["page_size"])
         catalog = UCatalog(archive["catalog"])
@@ -241,7 +328,7 @@ def load_utree(path, estimator=None, *, filter_kernel=None, pool=None) -> UTree:
         mbrs = archive["mbrs"]
         outer = archive["outer"]
         inner = archive["inner"]
-        descriptors = archive["descriptors"]
+        descriptors = unpack_json(archive["descriptors"])
         if (
             filter_kernel is None
             and env_value(FILTER_KERNEL_ENV) is None
@@ -261,7 +348,7 @@ def load_utree(path, estimator=None, *, filter_kernel=None, pool=None) -> UTree:
         )
     items = []
     for i, oid in enumerate(oids):
-        pdf = density_from_descriptor(json.loads(descriptors[i]))
+        pdf = density_from_descriptor(descriptors[i])
         obj = UncertainObject(int(oid), pdf)
         outer_fn = LinearBoxFunction(outer[i, 0].copy(), outer[i, 1].copy())
         inner_fn = LinearBoxFunction(inner[i, 0].copy(), inner[i, 1].copy())

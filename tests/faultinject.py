@@ -1,0 +1,103 @@
+"""Fault-injection harness for the storage engine.
+
+The durability contract under test: an operation acknowledged by the
+write-ahead log survives any crash, an unacknowledged one is never
+observable after recovery.  "Any crash" is modelled at byte granularity —
+:class:`CrashingFile` wraps the WAL's file handle and dies after a byte
+budget, writing the partial prefix first, exactly like a machine losing
+power mid-``write``.  A :class:`ByteBudget` is shared across reopens so a
+single budget covers a whole multi-operation trace.
+
+Usage::
+
+    budget = ByteBudget(37)
+    wal.reopen(crashing_factory(budget))
+    try:
+        db.insert(obj)          # commits to the WAL first
+    except CrashPoint:
+        ...                     # the "machine" died mid-append
+
+After a crash, recovery is the production path — ``Database.open`` on the
+archive directory replays the log — so these tests prove the real replay
+code, not a test double.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+__all__ = ["ByteBudget", "CrashPoint", "CrashingFile", "crashing_factory"]
+
+
+class CrashPoint(Exception):
+    """The simulated machine died (power loss mid-write)."""
+
+
+class ByteBudget:
+    """Bytes the simulated disk accepts before the machine dies.
+
+    Shared by every :class:`CrashingFile` built from one
+    :func:`crashing_factory`, so the budget spans handle reopens.
+    """
+
+    def __init__(self, remaining: int):
+        if remaining < 0:
+            raise ValueError("budget must be non-negative")
+        self.remaining = remaining
+
+
+class CrashingFile:
+    """An append-mode binary file that dies after a byte budget.
+
+    Writes within budget pass through; the write that exhausts it
+    persists only the prefix that fit — flushed, so the torn bytes are
+    really "on disk" — then raises :class:`CrashPoint`.  Every later
+    operation raises too: a dead machine accepts nothing.
+    """
+
+    def __init__(self, fh: BinaryIO, budget: ByteBudget):
+        self._fh = fh
+        self._budget = budget
+        self._dead = False
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise CrashPoint("machine already crashed")
+
+    def write(self, data: bytes) -> int:
+        self._check_alive()
+        if len(data) > self._budget.remaining:
+            kept = data[: self._budget.remaining]
+            if kept:
+                self._fh.write(kept)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._budget.remaining = 0
+            self._dead = True
+            raise CrashPoint(f"power lost after {len(kept)} of {len(data)} bytes")
+        self._fh.write(data)
+        self._budget.remaining -= len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._fh.flush()
+
+    def fileno(self) -> int:
+        self._check_alive()
+        return self._fh.fileno()
+
+    def close(self) -> None:
+        # Closing a dead handle is fine (recovery cleans up).
+        self._fh.close()
+
+
+def crashing_factory(budget: ByteBudget):
+    """A ``file_factory`` for :class:`repro.storage.wal.WriteAheadLog`
+    whose handles share one :class:`ByteBudget` across reopens."""
+
+    def factory(path: str) -> CrashingFile:
+        return CrashingFile(open(path, "ab"), budget)
+
+    return factory

@@ -516,7 +516,10 @@ class TestDatabaseAdaptive:
         )
         specs = _specs()
         baseline = None
-        for _ in range(30):
+        # Convergence rides on wall-clock qps observations: a noisy
+        # neighbour can flip an incumbent and reset the stability
+        # counter, so give the tuner slack beyond the nominal sweep.
+        for _ in range(80):
             answers = [sorted(r.object_ids) for r in db.run(specs)]
             baseline = answers if baseline is None else baseline
             assert answers == baseline

@@ -487,7 +487,7 @@ class TestSaveOpen:
         db = Database.create(_objects()[:12], ExecConfig(mc_samples=400, seed=SEED))
         path = tmp_path / "db.npz"
         db.save(path)
-        with np.load(path, allow_pickle=True) as archive:
+        with np.load(path) as archive:
             # The fitted format: CFB stacks present, no descriptor table.
             assert "outer" in archive and "descriptors" in archive
             meta = __import__("json").loads(str(archive[database_module._META_KEY]))

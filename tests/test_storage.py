@@ -7,10 +7,13 @@ import pytest
 from repro.storage.layout import (
     FLOAT_SIZE,
     POINTER_SIZE,
+    WAL_HEADER_BYTES,
     NodeLayout,
+    record_span_pages,
     rstar_layout,
     upcr_layout,
     utree_layout,
+    wal_entry_bytes,
 )
 from repro.storage.pager import DataFile, DiskAddress, IOCounter, PageStore
 
@@ -56,11 +59,104 @@ class TestDataFile:
         df.append("b", 30)
         assert df.read_page(0) == ["a", "b"]
 
-    def test_oversized_record_clamped_to_page(self):
-        df = DataFile(page_size=100)
-        a1 = df.append("big", 5000)
+    def test_oversized_record_spills_across_pages(self):
+        # Regression: append used to clamp size_bytes to one page, so
+        # multi-page records under-counted bytes and write I/O.
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        a1 = df.append("big", 250)  # ceil(250/100) = 3 pages
+        assert io.writes == 3
+        assert df.page_count == 3
+        assert df.size_bytes == 3 * 100
+        assert df.live_bytes == 250
+        # The spill run is dedicated: the next record starts a new page.
         a2 = df.append("next", 10)
-        assert a1.page_id != a2.page_id
+        assert (a1.page_id, a1.slot) == (0, 0)
+        assert a2.page_id == 3
+        assert df.read(a1) == "big"
+
+    def test_spilled_read_charges_span_pages(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        addr = df.append("big", 350)
+        io.reset()
+        assert df.read(addr) == "big"
+        assert io.reads == 4
+        # peek stays free.
+        assert df.peek(addr) == "big"
+        assert io.reads == 4
+
+    def test_exact_page_multiple_does_not_overallocate(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        df.append("two", 200)
+        assert (df.page_count, io.writes) == (2, 2)
+
+
+class TestDataFileReclaim:
+    def test_release_noop_by_default(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100)
+        addr = df.append("a", 40)
+        io.reset()
+        assert df.release(addr) is False
+        assert df.read(addr) == "a"  # record untouched
+        assert (df.record_count, df.free_slots) == (1, 0)
+        assert io.writes == 0
+
+    def test_release_then_exact_size_reuse(self):
+        io = IOCounter()
+        df = DataFile(io, page_size=100, reclaim=True)
+        a = df.append("a", 40)
+        df.append("b", 40)
+        io.reset()
+        assert df.release(a) is True
+        assert io.total == 0  # freeing is a metadata-only operation
+        assert (df.free_slots, df.free_bytes) == (1, 40)
+        reused = df.append("c", 40)
+        assert reused == a  # same page, same slot
+        assert io.writes == 1  # the reused page is rewritten in place
+        assert df.page_count == 1  # the file did not grow
+        assert df.reclaimed_slots == 1
+        assert df.read(reused) == "c"
+
+    def test_reuse_requires_exact_size(self):
+        df = DataFile(page_size=100, reclaim=True)
+        a = df.append("a", 40)
+        df.release(a)
+        other = df.append("b", 30)  # smaller: must not take the 40-byte slot
+        assert other != a
+        again = df.append("c", 40)
+        assert again == a
+
+    def test_released_slot_guards(self):
+        df = DataFile(page_size=100, reclaim=True)
+        a = df.append("a", 40)
+        df.append("b", 40)
+        df.release(a)
+        assert df.release(a) is False  # double release is a no-op
+        with pytest.raises(KeyError):
+            df.read(a)
+        with pytest.raises(KeyError):
+            df.peek(a)
+        # read_page preserves slot positions; the freed slot reads None.
+        assert df.read_page(0) == [None, "b"]
+        # peek_page filters to live records for iteration-style callers.
+        assert df.peek_page(0) == ["b"]
+
+    def test_byte_accounting_through_churn(self):
+        df = DataFile(page_size=100, reclaim=True)
+        a = df.append("a", 60)
+        b = df.append("b", 30)
+        assert (df.live_bytes, df.free_bytes) == (90, 0)
+        df.release(a)
+        assert (df.live_bytes, df.free_bytes) == (30, 60)
+        df.append("c", 60)
+        assert (df.live_bytes, df.free_bytes) == (90, 0)
+        assert df.record_count == 2
+        df.release(b)
+        assert df.record_count == 1
+        assert (df.live_bytes, df.free_bytes) == (60, 30)
 
     def test_rejects_bad_sizes(self):
         df = DataFile(page_size=100)
@@ -151,3 +247,13 @@ class TestLayouts:
 
     def test_upcr_size_grows_with_catalog(self):
         assert upcr_layout(2, 12).leaf_entry_bytes > upcr_layout(2, 3).leaf_entry_bytes
+
+    def test_record_span_pages(self):
+        assert record_span_pages(1, 100) == 1
+        assert record_span_pages(100, 100) == 1
+        assert record_span_pages(101, 100) == 2
+        assert record_span_pages(250, 100) == 3
+
+    def test_wal_entry_bytes(self):
+        assert wal_entry_bytes(0) == WAL_HEADER_BYTES
+        assert wal_entry_bytes(17) == WAL_HEADER_BYTES + 17
