@@ -37,6 +37,7 @@ __all__ = ["ExecConfig"]
 _PARTITIONER_NAMES = ("str", "hash")
 _EXECUTOR_NAMES = ("thread", "process")
 _POOL_POLICY_NAMES = POOL_POLICIES
+_ON_FAULT_NAMES = ("fail", "degrade")
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,32 @@ class ExecConfig:
             forever.  Off by default — the paper's byte and I/O
             accounting assumes strict append.  Environment default via
             ``REPRO_RECLAIM``.
+        on_fault: what the runtime does with a recoverable execution
+            fault (:class:`~repro.faults.FaultError`).  ``"fail"`` (the
+            default) propagates the structured exception after cleaning
+            up, leaving behavior byte-identical to the seed on the
+            fault-free path.  ``"degrade"`` turns on the full resilience
+            ladder: supervised fault-domain retries in the process pool,
+            quarantine-and-scrub of corrupt pages, and per-batch
+            process → thread → serial backend fallback — answers stay
+            bit-identical, only throughput degrades.  Environment
+            default via ``REPRO_ON_FAULT``.
+        worker_timeout: per-command reply deadline (seconds) for the
+            process backend's workers; ``0`` (the default) blocks
+            forever exactly as the seed did, so a hung worker goes
+            undetected but nothing else changes.  Environment default
+            via ``REPRO_WORKER_TIMEOUT``.
+        max_retries: bounded attempts a failed fault domain gets
+            (worker respawn-and-resend rounds; transient-read retries
+            use the storage layer's own bound).  Only consulted under
+            ``on_fault="degrade"``.  Environment default via
+            ``REPRO_MAX_RETRIES``.
+        checksum: keep a crc32 per data page and verify it on every
+            physical read (:class:`~repro.storage.pager.DataFile`
+            integrity mode).  The crc header costs
+            :data:`~repro.storage.layout.PAGE_CHECKSUM_BYTES` of packing
+            capacity per page; off (the default) is byte-compatible with
+            the seed.  Environment default via ``REPRO_CHECKSUM``.
         page_size: simulated page size in bytes.
         mc_samples: Monte-Carlo samples per P_app evaluation.
         seed: base RNG seed; per-object streams derive from
@@ -124,6 +151,10 @@ class ExecConfig:
     auto_tune: bool = False
     wal: bool = False
     reclaim: bool = False
+    on_fault: str = "fail"
+    worker_timeout: float = 0.0
+    max_retries: int = 2
+    checksum: bool = False
     page_size: int = 4096
     mc_samples: int = 10_000
     seed: int = 0
@@ -171,6 +202,15 @@ class ExecConfig:
                 "auto_tune=True requires batched=True (the tuner observes "
                 "batch throughput)"
             )
+        if self.on_fault not in _ON_FAULT_NAMES:
+            raise ValueError(
+                f"unknown on_fault {self.on_fault!r}; "
+                f"pick one of {_ON_FAULT_NAMES}"
+            )
+        if self.worker_timeout < 0:
+            raise ValueError("worker_timeout must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
         if self.mc_samples < 1:
@@ -216,6 +256,17 @@ class ExecConfig:
             fields["wal"] = True
         if repro_env.env_flag("REPRO_RECLAIM"):
             fields["reclaim"] = True
+        on_fault = repro_env.env_value("REPRO_ON_FAULT")
+        if on_fault is not None and on_fault.strip():
+            fields["on_fault"] = on_fault.strip().lower()
+        timeout = repro_env.env_value("REPRO_WORKER_TIMEOUT")
+        if timeout is not None and timeout.strip():
+            fields["worker_timeout"] = float(timeout)
+        retries = repro_env.env_value("REPRO_MAX_RETRIES")
+        if retries is not None and retries.strip():
+            fields["max_retries"] = int(retries)
+        if repro_env.env_flag("REPRO_CHECKSUM"):
+            fields["checksum"] = True
         fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
         fields.update(overrides)
         return cls(**fields)

@@ -49,6 +49,7 @@ from repro.exec.planner import (
     ScanCostModel,
     derive_data_records_per_page,
 )
+from repro.exec.resilience import BatchSupervisor
 from repro.exec.shard import ShardedAccessMethod
 from repro.exec.tuner import AutoTuner, TunerDecision
 from repro.storage.bufferpool import BufferPool
@@ -238,6 +239,15 @@ class Explanation:
     pool_capacity: int = 0
     # The auto-tuner's full report (None when auto_tune is off).
     tuner: dict | None = None
+    # Resilience posture: how a fault mid-batch would be handled.  With
+    # on_fault="degrade", degradation_ladder lists the backend fallback
+    # chain the batch would descend (most capable first, exact serial
+    # path last); empty under "fail".
+    on_fault: str = "fail"
+    worker_timeout: float = 0.0
+    max_retries: int = 2
+    checksum: bool = False
+    degradation_ladder: tuple[str, ...] = ()
 
     def summary(self) -> str:
         lines = [f"{type(self.spec).__name__} -> {self.choice!r}"]
@@ -282,6 +292,14 @@ class Explanation:
             lines.append(
                 f"  auto-tuner: {state} after "
                 f"{self.tuner.get('observations', 0)} batches ({knobs})"
+            )
+        if self.on_fault != "fail" or self.checksum:
+            ladder = " -> ".join(self.degradation_ladder) or "none"
+            lines.append(
+                f"  resilience: on_fault={self.on_fault} | ladder: {ladder} | "
+                f"worker timeout {self.worker_timeout:g}s, "
+                f"{self.max_retries} retries | "
+                f"checksums {'on' if self.checksum else 'off'}"
             )
         return "\n".join(lines)
 
@@ -395,6 +413,10 @@ class Database:
         self.tuner: AutoTuner | None = (
             self._build_tuner() if config.auto_tune else None
         )
+        # Resilience wiring is applied here — the one funnel every
+        # construction path (create / from_methods / open) goes through.
+        for method in self._methods.values():
+            self._apply_integrity(method)
 
     # ------------------------------------------------------------------
     # construction
@@ -479,6 +501,23 @@ class Database:
             for method in built.values():
                 method.data_file.reclaim = True
         return cls(built, config)
+
+    def _apply_integrity(self, method) -> None:
+        """Switch a method's data file into the configured integrity mode.
+
+        ``checksum`` stamps crc32 shadow images (capacity accounting
+        shifts by the header for *future* appends; existing addresses
+        are untouched); ``on_fault="degrade"`` additionally lets the
+        file scrub-and-continue on a crc mismatch instead of raising.
+        Both off (the defaults) leaves the file byte-identical.
+        """
+        data_file = getattr(method, "data_file", None)
+        if data_file is None:  # pragma: no cover - protocol tolerance
+            return
+        if self.config.checksum:
+            data_file.enable_checksum()
+        if self.config.on_fault == "degrade":
+            data_file.scrub = True
 
     @classmethod
     def from_methods(
@@ -805,6 +844,7 @@ class Database:
             )
             _set_kernel(rebuilt, kernel_on)
             rebuilt.data_file.reclaim = self.config.reclaim
+            self._apply_integrity(rebuilt)
             self._methods[name] = rebuilt
             self._drop_executors(name)
             # The rebuild rewrote every shard from scratch.
@@ -887,12 +927,20 @@ class Database:
         key = (name, executor, parallelism, _kernel_enabled(self._methods[name]))
         if key not in self._batch_executors:
             if executor == "process":
+                # The fault-domain retry budget engages only in degrade
+                # mode; in fail mode faults propagate on first contact
+                # (after pool teardown, so the executor stays usable).
+                # The command deadline applies in both modes — detecting
+                # a hang is orthogonal to what happens next.
+                supervised = self.config.on_fault == "degrade"
                 self._batch_executors[key] = ProcessBatchExecutor(
                     self._methods[name],
                     workers=parallelism,
                     memoize=self.config.memoize,
                     dedupe_pages=self.config.dedupe_pages,
                     io_latency_seconds=self.config.io_latency_seconds,
+                    worker_timeout=self.config.worker_timeout,
+                    max_retries=self.config.max_retries if supervised else 0,
                 )
             else:
                 self._batch_executors[key] = BatchExecutor(
@@ -903,6 +951,67 @@ class Database:
                     io_latency_seconds=self.config.io_latency_seconds,
                 )
         return self._batch_executors[key]
+
+    def _degradation_ladder(
+        self,
+        name: str,
+        *,
+        executor: str | None = None,
+        parallelism: int | None = None,
+    ) -> list:
+        """The backend fallback chain for one method's batches.
+
+        Most capable configured backend first, the exact serial path
+        last: ``process → thread → serial`` under the process backend,
+        ``thread → serial`` for a parallel thread config, and just
+        ``serial`` when that is all that was configured.  Factories are
+        lazy, so a fault-free run never builds the fallback executors.
+        """
+        resolved_exec = self.config.executor if executor is None else executor
+        resolved_par = (
+            self.config.parallelism if parallelism is None else parallelism
+        )
+        ladder: list = []
+        if resolved_exec == "process":
+            ladder.append((
+                "process",
+                lambda: self._batch_executor(
+                    name, executor="process", parallelism=resolved_par
+                ),
+            ))
+        if resolved_par > 1:
+            ladder.append((
+                "thread",
+                lambda: self._batch_executor(
+                    name, executor="thread", parallelism=resolved_par
+                ),
+            ))
+        ladder.append((
+            "serial",
+            lambda: self._batch_executor(name, executor="thread", parallelism=1),
+        ))
+        return ladder
+
+    def _run_range_batch(
+        self,
+        name: str,
+        queries,
+        *,
+        executor: str | None = None,
+        parallelism: int | None = None,
+    ):
+        """One method's batch, through the ladder when degradation is on."""
+        if self.config.on_fault != "degrade":
+            return self._batch_executor(
+                name, executor=executor, parallelism=parallelism
+            ).run(queries)
+        supervisor = BatchSupervisor(
+            self._degradation_ladder(
+                name, executor=executor, parallelism=parallelism
+            ),
+            data_file=getattr(self._methods[name], "data_file", None),
+        )
+        return supervisor.run(queries)
 
     def _drop_executors(self, name: str) -> None:
         """Forget every executor bound to ``name``'s current structure."""
@@ -1069,14 +1178,18 @@ class Database:
 
         range_count = 0
         executors_before = len(self._batch_executors)
-        range_start = time.perf_counter()
+        # Throughput windows run on the tuner's clock so tests can make
+        # qps observations deterministic (a fake clock replaces
+        # wall-time noise); without a tuner nothing observes the window.
+        clock = self.tuner.clock if self.tuner is not None else time.perf_counter
+        range_start = clock()
         for name, indices in grouped.items():
             queries = [specs[i].to_query() for i in indices]
             range_count += len(queries)
             if self.config.batched:
-                batch = self._batch_executor(
-                    name, executor=executor, parallelism=parallelism
-                ).run(queries)
+                batch = self._run_range_batch(
+                    name, queries, executor=executor, parallelism=parallelism
+                )
                 answers = batch.answers
                 if name in out.batches:  # pragma: no cover - defensive
                     raise RuntimeError(f"duplicate batch for method {name!r}")
@@ -1100,8 +1213,12 @@ class Database:
             # tuner re-proposes the still-undersampled value and the next
             # batch measures it warm.
             warmed = len(self._batch_executors) == executors_before
-            if warmed:
-                range_wall = time.perf_counter() - range_start
+            # A degraded batch executed on some fallback backend, not the
+            # proposed assignment — crediting its throughput would teach
+            # the tuner about a configuration that never ran.
+            degraded = any(b.degraded for b in out.batches.values())
+            if warmed and not degraded:
+                range_wall = clock() - range_start
                 self.tuner.observe(proposal, range_count / max(range_wall, 1e-9))
 
         out.results = [slot for slot in slots if slot is not None]
@@ -1223,6 +1340,20 @@ class Database:
             pool_policy=self.config.pool_policy,
             pool_capacity=self.config.pool_capacity,
             tuner=self.tuner.report() if self.tuner is not None else None,
+            on_fault=self.config.on_fault,
+            worker_timeout=self.config.worker_timeout,
+            max_retries=self.config.max_retries,
+            checksum=self.config.checksum,
+            degradation_ladder=(
+                tuple(
+                    level
+                    for level, _ in self._degradation_ladder(
+                        choice, executor=self.config.executor
+                    )
+                )
+                if self.config.on_fault == "degrade"
+                else ()
+            ),
         )
 
     # ------------------------------------------------------------------

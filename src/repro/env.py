@@ -43,6 +43,10 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_AUTO_TUNE": "workload-aware auto-tuner on/off (ExecConfig.auto_tune)",
     "REPRO_WAL": "write-ahead-logged durable saves on/off (ExecConfig.wal)",
     "REPRO_RECLAIM": "data-file free-slot reuse on/off (ExecConfig.reclaim)",
+    "REPRO_ON_FAULT": "fault handling fail|degrade (ExecConfig.on_fault)",
+    "REPRO_WORKER_TIMEOUT": "process-worker command deadline seconds (ExecConfig.worker_timeout)",
+    "REPRO_MAX_RETRIES": "fault-domain retry budget (ExecConfig.max_retries)",
+    "REPRO_CHECKSUM": "crc32 page checksums on/off (ExecConfig.checksum)",
     "REPRO_FAULT_EXHAUSTIVE": "exhaustive end-to-end crash sweep in the fault suite",
     "REPRO_SKIP_PERF_ASSERT": "skip wall-clock perf contracts (CI correctness matrix)",
     "REPRO_BENCH_SAMPLES": "Monte-Carlo budget for benchmark smoke runs",
@@ -52,6 +56,7 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_MULTICORE_ARTIFACT": "multicore benchmark artifact path",
     "REPRO_AUTOTUNE_ARTIFACT": "autotune benchmark artifact path",
     "REPRO_STORAGE_ARTIFACT": "storage-engine benchmark artifact path",
+    "REPRO_RESILIENCE_ARTIFACT": "resilience benchmark artifact path",
 }
 
 _TRUE_WORDS = ("1", "true", "yes", "on")

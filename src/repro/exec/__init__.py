@@ -20,7 +20,13 @@ implementing the :class:`~repro.exec.access.AccessMethod` protocol) from
   hash-partitioned child structures behind one ``AccessMethod`` facade,
   with a :class:`~repro.exec.shard.ShardRouter` pruning and cost-ordering
   shard probes per query (answers stay bit-identical to the monolithic
-  path; the batch executor adds shard-group parallel filtering).
+  path; the batch executor adds shard-group parallel filtering);
+* :class:`~repro.exec.resilience.BatchSupervisor` — graceful degradation
+  down a ``process -> thread -> serial`` backend ladder on
+  :class:`~repro.faults.FaultError`, with the fault taxonomy re-exported
+  here (:class:`FaultError`, :class:`TransientIOError`,
+  :class:`CorruptPageError`, :class:`WorkerError`,
+  :class:`WorkerTimeout`, :class:`DegradedWarning`).
 
 Pair any of these with a :class:`repro.storage.bufferpool.BufferPool` to
 separate physical from logical I/O; with no pool (or capacity 0) all
@@ -34,7 +40,14 @@ from repro.exec.batch import (
     BatchResult,
     BatchStats,
 )
-from repro.exec.mpexec import ProcessBatchExecutor, WorkerError
+from repro.exec.mpexec import ProcessBatchExecutor, WorkerError, WorkerTimeout
+from repro.exec.resilience import (
+    BatchSupervisor,
+    CorruptPageError,
+    DegradedWarning,
+    FaultError,
+    TransientIOError,
+)
 from repro.exec.executor import (
     QueryExecutor,
     execute_query,
@@ -65,6 +78,10 @@ __all__ = [
     "BatchExecutor",
     "BatchResult",
     "BatchStats",
+    "BatchSupervisor",
+    "CorruptPageError",
+    "DegradedWarning",
+    "FaultError",
     "FilterResult",
     "PARTITIONERS",
     "PlanReport",
@@ -75,8 +92,10 @@ __all__ = [
     "RefinementEngine",
     "SERIAL_FALLBACK_SAMPLE_OPS",
     "ScanCostModel",
+    "TransientIOError",
     "TunerDecision",
     "WorkerError",
+    "WorkerTimeout",
     "ShardRouter",
     "ShardedAccessMethod",
     "derive_data_records_per_page",

@@ -141,6 +141,30 @@ class BatchStats:
     fetch_seconds: float = 0.0
     refine_seconds: float = 0.0
     wall_seconds: float = 0.0
+    # Resilience accounting (all zero/empty on a fault-free run, so the
+    # seed's repr/summary and every equality-based test are untouched).
+    # ``degraded_to`` names the ladder level that finally answered when
+    # the batch fell below its configured backend ("" = no degradation);
+    # ``fault_events`` lists the absorbed faults in order.
+    degraded_to: str = ""
+    fault_events: list[str] = field(default_factory=list)
+    fault_retries: int = 0  # supervised fault-domain retry rounds
+    worker_respawns: int = 0  # workers killed and re-forked mid-batch
+    corrupt_pages: int = 0  # crc mismatches detected during the batch
+    pages_scrubbed: int = 0  # of those, quarantined and rebuilt
+    io_retries: int = 0  # transient read failures absorbed by retry
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fault was absorbed while producing this batch."""
+        return bool(
+            self.degraded_to
+            or self.fault_events
+            or self.fault_retries
+            or self.worker_respawns
+            or self.pages_scrubbed
+            or self.io_retries
+        )
 
     @property
     def data_pages_saved(self) -> int:
@@ -207,6 +231,14 @@ class BatchStats:
              f" / {1000 * self.refine_seconds:.1f}"],
             ["wall (ms)", f"{1000 * self.wall_seconds:.1f}"],
         ]
+        if self.degraded:
+            rows.append([
+                "resilience",
+                f"degraded_to={self.degraded_to or 'none'} "
+                f"retries={self.fault_retries} respawns={self.worker_respawns} "
+                f"scrubbed={self.pages_scrubbed}/{self.corrupt_pages} "
+                f"io_retries={self.io_retries}",
+            ])
         if self.shards:
             rows.insert(2, ["shards (probes / pruned)",
                             f"{self.shards} ({self.shard_probes} / {self.shards_pruned})"])

@@ -45,13 +45,34 @@ memos and caches stay warm like the thread executor's — and are re-forked
 automatically if the method grows or shrinks under them.  Shutdown is by
 ``close()`` (or context manager), with a ``weakref.finalize`` backstop so
 an abandoned executor never strands processes under pytest.
+
+**Supervision.**  Every command exchange is a supervised unit: with
+``worker_timeout > 0`` the parent waits on each reply with a per-command
+deadline and a liveness probe instead of blocking forever, so a dead
+worker is detected immediately and a wedged one within the deadline.
+On death or hang the parent kills the worker, respawns it by re-forking
+from the live parent state (the shared-memory arena is still mapped, so
+the replacement attaches the same kernel columns for free) and — with
+``max_retries > 0`` — re-sends **only the failed fault domain**: that
+worker's shard probes / query slice / page-ownership refinement group,
+never the commands other workers already answered.  Retries are bounded
+with linear backoff; a respawned worker starts with a cold memo, which
+can only shift *later* batches' memo-hit ledgers (cost, never answers —
+within the retried batch the re-run recomputes exactly what the dead
+worker would have).  When the budget is exhausted (or with the default
+``max_retries=0``) the pool is torn down before the
+:class:`~repro.faults.WorkerError`/:class:`~repro.faults.WorkerTimeout`
+propagates, so the next ``run()`` re-forks cleanly and the owning
+``Database`` object survives the fault.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
+import warnings
 import weakref
 from collections.abc import Sequence
 from typing import Any
@@ -61,15 +82,17 @@ from repro.core.stats import QueryStats
 from repro.exec.access import AccessMethod, FilterResult
 from repro.exec.batch import BatchExecutor, BatchResult
 from repro.exec.refine import RefinementEngine, refine_with_engine
+from repro.faults import DegradedWarning, WorkerError, WorkerTimeout
 from repro.storage.shm import SharedArena
 
-__all__ = ["ProcessBatchExecutor", "WorkerError"]
+__all__ = ["ProcessBatchExecutor", "WorkerError", "WorkerTimeout"]
 
 _JOIN_TIMEOUT_SECONDS = 5.0
 
-
-class WorkerError(RuntimeError):
-    """A worker process raised; carries its formatted traceback."""
+# How often the supervised receive loop interleaves liveness probes
+# while waiting under a deadline; never hit with worker_timeout=0
+# (the unsupervised blocking receive of the seed).
+_POLL_INTERVAL_SECONDS = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +224,7 @@ def _worker_loop(
     engine = RefinementEngine.for_method(method)
     view = method.data_file.reader_view(latency_seconds=io_latency_seconds)
     memo: dict | None = {} if memoize else None
+    pending_chaos: tuple[str, float] | None = None
     try:
         while True:
             try:
@@ -209,6 +233,20 @@ def _worker_loop(
                 break
             if kind == "close":
                 break
+            if kind == "chaos":
+                # Chaos-harness surface (tests/faultinject.py): arm a
+                # fault that fires on the *next* real command — the
+                # worker dies or stalls mid-batch, exactly the failure
+                # the supervisor exists for.
+                pending_chaos = payload
+                conn.send(("ok", True))
+                continue
+            if pending_chaos is not None:
+                mode, seconds = pending_chaos
+                pending_chaos = None
+                if mode == "exit":
+                    os._exit(17)
+                time.sleep(seconds)  # "hang": stall, then proceed
             try:
                 reply: Any
                 if kind == "filter":
@@ -280,6 +318,16 @@ class ProcessBatchExecutor(BatchExecutor):
             from the data file and move the clouds into the arena.
             Changes sample-cache hit/miss ledgers versus a cold serial
             run (never the answers), so it is opt-in.
+        worker_timeout: per-command reply deadline in seconds; ``0``
+            (the default) blocks forever exactly like the seed, so hung
+            workers go undetected but behavior is byte-identical.
+        max_retries: supervised retry budget per exchange — how many
+            respawn-and-resend rounds a failed fault domain gets before
+            the fault propagates.  ``0`` (the default) fails fast on the
+            first fault (after tearing the pool down so the executor
+            stays usable).
+        retry_backoff_seconds: base of the linear backoff between retry
+            rounds (round ``n`` sleeps ``n * retry_backoff_seconds``).
     """
 
     def __init__(
@@ -293,9 +341,18 @@ class ProcessBatchExecutor(BatchExecutor):
         io_latency_seconds: float = 0.0,
         share_memory: bool = True,
         share_samples: bool = False,
+        worker_timeout: float = 0.0,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if worker_timeout < 0:
+            raise ValueError("worker_timeout must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be non-negative")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "the process executor requires the fork start method "
@@ -312,12 +369,21 @@ class ProcessBatchExecutor(BatchExecutor):
         self.workers = int(workers)
         self.share_memory = share_memory
         self.share_samples = share_samples
+        self.worker_timeout = float(worker_timeout)
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
         self._ctx = multiprocessing.get_context("fork")
         self._conns: list = []
         self._procs: list = []
         self._forked_state: tuple | None = None
         self._arena: SharedArena | None = None
         self._finalizer: weakref.finalize | None = None
+        # Supervision ledgers: lifetime totals plus the current run's
+        # deltas (surfaced in BatchStats.fault_retries/worker_respawns).
+        self.retries = 0
+        self.respawns = 0
+        self._run_retries = 0
+        self._run_respawns = 0
 
     # -- pool lifecycle -------------------------------------------------
     def _state_snapshot(self) -> tuple:
@@ -355,6 +421,57 @@ class ProcessBatchExecutor(BatchExecutor):
             cache.rebind_resident(arena.share_array)
         return arena
 
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Fork one worker into slot ``worker_id`` (append or replace).
+
+        In-place slot replacement keeps the ``weakref.finalize`` backstop
+        valid: the finalizer holds the *list* objects, not their contents.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(
+                child_conn,
+                self.method,
+                self.memoize,
+                self.dedupe_pages,
+                self.io_latency_seconds,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if worker_id < len(self._conns):
+            self._conns[worker_id] = parent_conn
+            self._procs[worker_id] = proc
+        else:
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        """Kill a dead/wedged worker and re-fork its slot from live state.
+
+        The parent is the only writer and never mutates mid-batch, so
+        the replacement forks exactly the state the batch was planned
+        against; the shared arena is still mapped, so rebound kernel
+        columns come along at zero copy cost.  Only the replacement's
+        memo starts cold (cost-only, later batches).
+        """
+        try:
+            self._conns[worker_id].close()
+        except OSError:
+            pass
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        if proc.is_alive():  # pragma: no cover - kill-resistant worker
+            proc.kill()
+            proc.join(timeout=1.0)
+        self._spawn_worker(worker_id)
+        self.respawns += 1
+        self._run_respawns += 1
+
     def _ensure_pool(self) -> None:
         snapshot = self._state_snapshot()
         if self._procs and snapshot == self._forked_state:
@@ -362,23 +479,8 @@ class ProcessBatchExecutor(BatchExecutor):
         self.close()
         if self.share_memory:
             self._arena = self._share_hot_state()
-        for _ in range(self.workers):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_loop,
-                args=(
-                    child_conn,
-                    self.method,
-                    self.memoize,
-                    self.dedupe_pages,
-                    self.io_latency_seconds,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        for worker_id in range(self.workers):
+            self._spawn_worker(worker_id)
         self._forked_state = snapshot
         self._finalizer = weakref.finalize(
             self, _shutdown_pool, self._conns, self._procs
@@ -423,34 +525,118 @@ class ProcessBatchExecutor(BatchExecutor):
         )
 
     # -- parent/worker exchange ----------------------------------------
+    def _recv_supervised(self, worker_id: int):
+        """One reply under the per-command deadline and liveness probe.
+
+        Returns ``(status, payload, None)`` on a reply, or
+        ``(None, None, reason)`` with reason ``"died"``/``"hung"`` when
+        the worker failed.  With ``worker_timeout == 0`` this is the
+        seed's plain blocking receive (death still surfaces as EOF).
+        """
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        if self.worker_timeout <= 0.0:
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                return None, None, "died"
+            return status, payload, None
+        deadline = time.monotonic() + self.worker_timeout
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL_SECONDS):
+                    status, payload = conn.recv()
+                    return status, payload, None
+            except (EOFError, OSError):
+                return None, None, "died"
+            if not proc.is_alive():
+                # Drain a reply the worker may have flushed before dying.
+                try:
+                    if conn.poll(0):
+                        status, payload = conn.recv()
+                        return status, payload, None
+                except (EOFError, OSError):
+                    pass
+                return None, None, "died"
+            if time.monotonic() >= deadline:
+                return None, None, "hung"
+
     def _exchange(self, messages: dict[int, tuple[str, Any]]) -> dict[int, Any]:
-        """Send one command per worker, then gather every reply.
+        """Send one command per worker, then gather every reply, supervised.
 
         Sends all complete before the first receive, so the addressed
-        workers run concurrently; replies surface worker tracebacks as
-        :class:`WorkerError`.
+        workers run concurrently.  A worker that dies or misses its
+        deadline fails only its own fault domain: with retry budget left
+        the worker is killed, respawned from live parent state and
+        *only its* command re-sent (bounded rounds, linear backoff) —
+        every other worker's reply is kept.  A worker *traceback* is
+        never retried (it would recur deterministically — e.g. a corrupt
+        page); it propagates as :class:`~repro.faults.WorkerError` for
+        the degradation ladder to handle.  On any propagated fault the
+        pool is torn down first, so the next ``run()`` re-forks cleanly
+        instead of failing on dead pipes.
         """
-        for worker_id, message in messages.items():
-            self._conns[worker_id].send(message)
+        pending = dict(messages)
         replies: dict[int, Any] = {}
-        for worker_id in messages:
-            try:
-                status, payload = self._conns[worker_id].recv()
-            except (EOFError, OSError) as exc:
-                raise WorkerError(
-                    f"worker {worker_id} died mid-command"
-                ) from exc
-            if status != "ok":
-                raise WorkerError(
-                    f"worker {worker_id} failed:\n{payload}"
+        rounds = 0
+        while pending:
+            failed: dict[int, str] = {}
+            for worker_id, message in pending.items():
+                try:
+                    self._conns[worker_id].send(message)
+                except (BrokenPipeError, OSError):
+                    failed[worker_id] = "died"
+            for worker_id in list(pending):
+                if worker_id in failed:
+                    continue
+                status, payload, reason = self._recv_supervised(worker_id)
+                if reason is not None:
+                    failed[worker_id] = reason
+                    continue
+                if status != "ok":
+                    self.close()
+                    raise WorkerError(
+                        f"worker {worker_id} failed:\n{payload}"
+                    )
+                replies[worker_id] = payload
+                del pending[worker_id]
+            if not failed:
+                continue
+            rounds += 1
+            if rounds > self.max_retries:
+                self.close()
+                reasons = ", ".join(
+                    f"worker {wid} {why}" for wid, why in sorted(failed.items())
                 )
-            replies[worker_id] = payload
+                exc_type = (
+                    WorkerTimeout
+                    if all(why == "hung" for why in failed.values())
+                    else WorkerError
+                )
+                raise exc_type(
+                    f"{reasons} mid-command "
+                    f"(retry budget {self.max_retries} exhausted)"
+                )
+            if self.retry_backoff_seconds > 0.0:
+                time.sleep(self.retry_backoff_seconds * rounds)
+            for worker_id, why in sorted(failed.items()):
+                self._respawn_worker(worker_id)
+                self.retries += 1
+                self._run_retries += 1
+                warnings.warn(
+                    f"worker {worker_id} {why}; respawned and retrying its "
+                    f"fault domain (round {rounds}/{self.max_retries})",
+                    DegradedWarning,
+                    stacklevel=3,
+                )
         return replies
 
     # -- execution ------------------------------------------------------
     def run(self, queries: Sequence[ProbRangeQuery]) -> BatchResult:
         """Execute the workload on the process pool, merging stats back."""
         start = time.perf_counter()
+        self._run_retries = 0
+        self._run_respawns = 0
         self._ensure_pool()
         sharded = self._sharded
 
@@ -682,6 +868,8 @@ class ProcessBatchExecutor(BatchExecutor):
         batch.refine_seconds = sum(s.refine_seconds for _, s, _, _ in per_query)
         batch.physical_reads = physical_reads
         batch.cache_hits = sum(s.cache_hits for _, s, _, _ in per_query)
+        batch.fault_retries = self._run_retries
+        batch.worker_respawns = self._run_respawns
         if self._pools:
             batch.pool_policy = self._pools[0].policy
         batch.wall_seconds = time.perf_counter() - start

@@ -45,7 +45,8 @@ State round-trips through :meth:`state_dict`/:meth:`load_state` so a
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 __all__ = ["AutoTuner", "TunerDecision"]
@@ -89,6 +90,11 @@ class AutoTuner:
             small enough for the serial fallback) flip-flop forever and
             the tuner never stays converged.  Real knob gaps in this
             engine (filter kernel, method variant) are well above it.
+        clock: the monotonic time source qps observations are measured
+            with (``Database.run`` brackets each tuned batch with it).
+            Injectable so tests replace wall-clock noise with a
+            deterministic fake and convergence becomes exact instead of
+            "usually, given enough batches".
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class AutoTuner:
         min_trials: int = 1,
         stable_after: int = 4,
         switch_margin: float = 0.1,
+        clock: Callable[[], float] = time.perf_counter,
     ):
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
@@ -130,6 +137,7 @@ class AutoTuner:
         self._stats: dict[str, list[list]] = {
             name: [[0.0, 0] for _ in values] for name, values in self.knobs.items()
         }
+        self.clock = clock
         self.decisions = 0
         self.observations = 0
         self._stable = 0

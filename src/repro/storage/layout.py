@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "FLOAT_SIZE",
+    "PAGE_CHECKSUM_BYTES",
     "POINTER_SIZE",
     "WAL_HEADER_BYTES",
     "NodeLayout",
@@ -33,6 +34,7 @@ __all__ = [
     "record_span_pages",
     "rstar_layout",
     "upcr_layout",
+    "usable_page_bytes",
     "utree_layout",
     "wal_entry_bytes",
 ]
@@ -42,6 +44,12 @@ POINTER_SIZE = 4
 
 # One write-ahead-log entry is [u32 payload_length][u32 crc32][payload].
 WAL_HEADER_BYTES = 8
+
+# With page checksums on, each data page leads with its own crc32 —
+# four bytes the first-fit packer can no longer hand to records.  With
+# checksums off the header does not exist and capacity is the full page,
+# which keeps the paper's byte accounting untouched.
+PAGE_CHECKSUM_BYTES = 4
 
 
 @dataclass(frozen=True)
@@ -159,6 +167,24 @@ def wal_entry_bytes(payload_bytes: int) -> int:
     if payload_bytes < 0:
         raise ValueError("payload_bytes must be non-negative")
     return WAL_HEADER_BYTES + payload_bytes
+
+
+def usable_page_bytes(page_size: int = 4096, *, checksum: bool = False) -> int:
+    """Record capacity of one data page under the given integrity mode.
+
+    The crc32 header (:data:`PAGE_CHECKSUM_BYTES`) comes off the top
+    when ``checksum`` is on; off, the full page is usable and every
+    pre-existing capacity computation is unchanged.
+    """
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    usable = page_size - (PAGE_CHECKSUM_BYTES if checksum else 0)
+    if usable <= 0:
+        raise ValueError(
+            f"page_size {page_size} cannot hold the {PAGE_CHECKSUM_BYTES}-byte "
+            "checksum header"
+        )
+    return usable
 
 
 def record_span_pages(size_bytes: int, page_size: int = 4096) -> int:

@@ -13,13 +13,21 @@ faithful, while payloads stay live Python objects for speed.
 
 from __future__ import annotations
 
+import struct
 import threading
 import time
+import warnings
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.faults import CorruptPageError, DegradedWarning, TransientIOError
 from repro.storage.bufferpool import BufferPool, charge_page_read
-from repro.storage.layout import record_span_pages
+from repro.storage.layout import (
+    PAGE_CHECKSUM_BYTES,
+    record_span_pages,
+    usable_page_bytes,
+)
 
 __all__ = [
     "DEFAULT_PAGE_SIZE",
@@ -177,6 +185,10 @@ class _DataPage:
     # tombstone keeps byte accounting auditable after reuse churn).
     slot_bytes: list[int] = field(default_factory=list)
     used_bytes: int = 0
+    # Checksum mode only: the page's shadow byte image — a deterministic
+    # rendering of its slot layout, led by the stored crc32 of the rest.
+    # ``None`` with checksums off (zero footprint, zero divergence).
+    image: bytearray | None = None
 
 
 class DataFile:
@@ -194,6 +206,28 @@ class DataFile:
     the slot's page is physically rewritten.  The default (``reclaim``
     off) keeps the seed's strictly-append behavior and I/O counts
     byte-for-byte: ``release`` is a no-op and nothing is ever reused.
+
+    **Integrity mode** (``checksum=True`` or :meth:`enable_checksum`):
+    every page keeps a deterministic *shadow image* — a page-sized byte
+    rendering of its slot layout whose first
+    :data:`~repro.storage.layout.PAGE_CHECKSUM_BYTES` bytes store the
+    crc32 of the rest — and every physical read verifies the stored crc
+    before payloads are served.  A mismatch raises
+    :class:`~repro.faults.CorruptPageError`, or — with ``scrub`` on —
+    quarantines the page, rebuilds its image from the authoritative
+    slot layout (one extra page read charged for the re-read) and
+    continues with a :class:`~repro.faults.DegradedWarning`.  The crc
+    header costs :data:`~repro.storage.layout.PAGE_CHECKSUM_BYTES` of
+    packing capacity per page, accounted through
+    :func:`~repro.storage.layout.usable_page_bytes`; with checksums off
+    (the default) nothing changes, byte for byte.
+
+    Transient disk faults are injectable through ``fault_injector`` (a
+    callable invoked with the page id before every physical read; an
+    ``OSError`` models a flaky read).  Failed attempts are retried up to
+    ``io_retry_limit`` times — each failed attempt still charges one
+    physical read — before :class:`~repro.faults.TransientIOError`
+    gives up.  Fault-free, the gate is a no-op on every counter.
     """
 
     def __init__(
@@ -203,6 +237,7 @@ class DataFile:
         *,
         pool: BufferPool | None = None,
         reclaim: bool = False,
+        checksum: bool = False,
     ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
@@ -210,6 +245,7 @@ class DataFile:
         self.io = io if io is not None else IOCounter()
         self.pool = pool
         self.reclaim = reclaim
+        self.checksum = False
         self._pool_file_id = pool.register_file() if pool is not None else -1
         self._pages: list[_DataPage] = []
         self._free: dict[int, list[DiskAddress]] = {}  # size -> LIFO of slots
@@ -217,13 +253,23 @@ class DataFile:
         self._live_bytes = 0
         self._free_bytes = 0
         self.reclaimed_slots = 0  # how many appends were served by the free list
+        # Integrity machinery (all inert by default).
+        self.scrub = False  # auto-repair corrupt pages instead of raising
+        self.fault_injector = None  # callable(page_id) -> None, may raise OSError
+        self.io_retry_limit = 2  # transient-read retries before giving up
+        self.corrupt_pages_detected = 0
+        self.pages_scrubbed = 0
+        self.transient_retries = 0
+        if checksum:
+            self.enable_checksum()
 
     def append(self, payload: Any, size_bytes: int) -> DiskAddress:
         """Store ``payload`` (conceptually ``size_bytes`` long); return its address."""
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
-        span = record_span_pages(size_bytes, self.page_size)
-        if self.reclaim and size_bytes <= self.page_size:
+        usable = self.usable_page_bytes
+        span = record_span_pages(size_bytes, usable)
+        if self.reclaim and size_bytes <= usable:
             stack = self._free.get(size_bytes)
             if stack:
                 address = stack.pop()
@@ -236,6 +282,7 @@ class DataFile:
                 self.reclaimed_slots += 1
                 # The slot's page is physically rewritten in place.
                 self.io.record_write()
+                self._stamp_page(address.page_id)
                 if self.pool is not None:
                     self.pool.admit(self._pool_file_id, address.page_id)
                 return address
@@ -255,8 +302,10 @@ class DataFile:
             head.slot_bytes.append(size_bytes)
             self._live_records += 1
             self._live_bytes += size_bytes
+            for page_id in range(first, first + span):
+                self._stamp_page(page_id)
             return DiskAddress(first, 0)
-        if not self._pages or self._pages[-1].used_bytes + size_bytes > self.page_size:
+        if not self._pages or self._pages[-1].used_bytes + size_bytes > usable:
             self._pages.append(_DataPage())
             self.io.record_write()
             if self.pool is not None:
@@ -267,6 +316,7 @@ class DataFile:
         page.used_bytes += size_bytes
         self._live_records += 1
         self._live_bytes += size_bytes
+        self._stamp_page(len(self._pages) - 1)
         return DiskAddress(len(self._pages) - 1, len(page.payloads) - 1)
 
     def release(self, address: DiskAddress) -> bool:
@@ -288,10 +338,16 @@ class DataFile:
         page.slot_bytes[address.slot] = -size
         self._live_records -= 1
         self._live_bytes -= size
-        if size <= self.page_size:
+        self._stamp_page(address.page_id)
+        if size <= self.usable_page_bytes:
             self._free.setdefault(size, []).append(address)
             self._free_bytes += size
         return True
+
+    @property
+    def usable_page_bytes(self) -> int:
+        """Record capacity per page (the crc header comes off in checksum mode)."""
+        return usable_page_bytes(self.page_size, checksum=self.checksum)
 
     def _slot_span(self, address: DiskAddress) -> int:
         """Pages the record at ``address`` occupies (raises if released)."""
@@ -299,9 +355,158 @@ class DataFile:
         size = page.slot_bytes[address.slot]
         if size <= 0:
             raise KeyError(f"record at {address!r} was released")
-        return record_span_pages(size, self.page_size)
+        return record_span_pages(size, self.usable_page_bytes)
+
+    # -- integrity: shadow images, verification, fault gate -------------
+    def enable_checksum(self) -> None:
+        """Switch the file into crc32 integrity mode (idempotent).
+
+        Builds a shadow image for every existing page; pages appended
+        later are stamped as they mutate.  Usable to harden a file that
+        was built checksum-off — provided no stored record's page span
+        would change under the reduced capacity (detail records are
+        orders of magnitude below the threshold; the guard is for
+        pathological page sizes).
+        """
+        if self.checksum:
+            return
+        full = self.page_size
+        usable = usable_page_bytes(full, checksum=True)
+        for page in self._pages:
+            for size in page.slot_bytes:
+                magnitude = abs(size)
+                if record_span_pages(magnitude, full) != record_span_pages(
+                    magnitude, usable
+                ):
+                    raise ValueError(
+                        f"cannot enable checksums: a {magnitude}-byte record's "
+                        f"page span changes under the {PAGE_CHECKSUM_BYTES}-byte "
+                        "crc header"
+                    )
+        self.checksum = True
+        for page_id in range(len(self._pages)):
+            self._stamp_page(page_id)
+
+    def _render_image(self, page_id: int) -> bytearray:
+        """The page's deterministic shadow bytes (crc header zeroed).
+
+        Slot contents are synthesised from ``(page_id, slot, offset)`` —
+        payloads are live Python objects, so the simulator renders a
+        stable stand-in byte stream instead of serialising them.  Freed
+        slots render under a different mixing constant, so releasing a
+        record changes the page's bytes exactly like a rewrite would.
+        """
+        page = self._pages[page_id]
+        image = bytearray(self.page_size)
+        offset = PAGE_CHECKSUM_BYTES
+        for slot, size in enumerate(page.slot_bytes):
+            salt = 13 if size > 0 else 29
+            length = max(0, min(abs(size), self.page_size - offset))
+            for i in range(length):
+                image[offset + i] = (
+                    page_id * 8191 + slot * 131 + i * 7 + salt
+                ) & 0xFF
+            offset += length
+        return image
+
+    def _stamp_page(self, page_id: int) -> None:
+        """(Re)build a page's shadow image and stored crc (checksum mode)."""
+        if not self.checksum:
+            return
+        image = self._render_image(page_id)
+        image[:PAGE_CHECKSUM_BYTES] = struct.pack(
+            ">I", zlib.crc32(bytes(image[PAGE_CHECKSUM_BYTES:]))
+        )
+        self._pages[page_id].image = image
+
+    def corrupt_page(self, page_id: int, byte_index: int | None = None) -> None:
+        """Fault injection: flip one byte of a page's stored image.
+
+        Test-harness surface for the chaos suite — models a bit flip on
+        disk.  The next verified read of the page detects the mismatch.
+        """
+        if not self.checksum:
+            raise ValueError("corrupt_page requires checksum mode")
+        image = self._pages[page_id].image
+        assert image is not None
+        index = PAGE_CHECKSUM_BYTES if byte_index is None else byte_index
+        image[index] ^= 0xFF
+
+    def _verify_page(self, page_id: int, io: IOCounter) -> None:
+        """Check a page's stored crc against its bytes (checksum mode).
+
+        A mismatch either raises :class:`~repro.faults.CorruptPageError`
+        or — with ``scrub`` on — quarantines and rebuilds the page from
+        the authoritative slot layout, charging one extra page read for
+        the post-repair re-read and warning ``DegradedWarning``.
+        """
+        image = self._pages[page_id].image
+        if image is None:  # pragma: no cover - stamped on every mutation
+            self._stamp_page(page_id)
+            return
+        (stored,) = struct.unpack(">I", bytes(image[:PAGE_CHECKSUM_BYTES]))
+        actual = zlib.crc32(bytes(image[PAGE_CHECKSUM_BYTES:]))
+        if stored == actual:
+            return
+        self.corrupt_pages_detected += 1
+        if not self.scrub:
+            raise CorruptPageError(
+                f"page {page_id} failed crc verification "
+                f"(stored {stored:#010x}, computed {actual:#010x})",
+                page_id=page_id,
+            )
+        self._stamp_page(page_id)
+        self.pages_scrubbed += 1
+        io.record_read()  # the re-read after the rebuild
+        warnings.warn(
+            f"scrubbed corrupt page {page_id} (crc mismatch); "
+            "rebuilt from the authoritative slot layout",
+            DegradedWarning,
+            stacklevel=4,
+        )
+
+    def _guarded_access(
+        self, page_id: int, io: IOCounter, *, allow_scrub: bool = True
+    ) -> None:
+        """The fault/integrity gate before one physical page read.
+
+        Runs the fault injector (bounded retry on ``OSError``; every
+        failed attempt still charges one physical read on ``io``), then
+        crc verification in checksum mode.  Worker reader views pass
+        ``allow_scrub=False``: repairing a page is the parent's single-
+        writer job, so a forked worker fails fast and the degradation
+        ladder re-runs the batch next to the authoritative copy.
+        """
+        if self.fault_injector is not None:
+            failures = 0
+            while True:
+                try:
+                    self.fault_injector(page_id)
+                    break
+                except OSError as exc:
+                    failures += 1
+                    io.record_read()  # the failed attempt hit the disk too
+                    if failures > self.io_retry_limit:
+                        raise TransientIOError(
+                            f"page {page_id} read failed {failures} times "
+                            f"(retry limit {self.io_retry_limit})",
+                            page_id=page_id,
+                            attempts=failures,
+                        ) from exc
+                    self.transient_retries += 1
+        if self.checksum:
+            if allow_scrub:
+                self._verify_page(page_id, io)
+            else:
+                scrub = self.scrub
+                self.scrub = False
+                try:
+                    self._verify_page(page_id, io)
+                finally:
+                    self.scrub = scrub
 
     def _charge_read(self, page_id: int) -> None:
+        self._guarded_access(page_id, self.io)
         charge_page_read(self.io, self.pool, self._pool_file_id, page_id)
 
     def read(self, address: DiskAddress) -> Any:
@@ -415,20 +620,28 @@ class DataFileView:
         self.latency_seconds = float(latency_seconds)
         self.page_size = base.page_size
 
-    def _charge(self) -> None:
+    def _charge(self, page_id: int) -> None:
+        # Same fault/integrity gate as the base file, charged on the
+        # view's private counter — but never scrubbing: a forked worker
+        # repairing its COW copy would silently diverge from the parent,
+        # so corruption fails fast here and the degradation ladder
+        # re-runs the batch next to the authoritative copy.
+        self.base._guarded_access(page_id, self.io, allow_scrub=False)
         self.io.record_read()
         if self.latency_seconds > 0.0:
             time.sleep(self.latency_seconds)
 
     def read(self, address: DiskAddress) -> Any:
         """Fetch one record, costing one page read per spanned page on the view's counter."""
-        for _ in range(self.base._slot_span(address)):
-            self._charge()
+        for page_id in range(
+            address.page_id, address.page_id + self.base._slot_span(address)
+        ):
+            self._charge(page_id)
         return self.base._pages[address.page_id].payloads[address.slot]
 
     def read_page(self, page_id: int) -> list[Any]:
         """Fetch every record on a page with one (view-charged) page read."""
-        self._charge()
+        self._charge(page_id)
         return list(self.base._pages[page_id].payloads)
 
     def peek(self, address: DiskAddress) -> Any:

@@ -20,14 +20,32 @@ Usage::
 After a crash, recovery is the production path — ``Database.open`` on the
 archive directory replays the log — so these tests prove the real replay
 code, not a test double.
+
+The PR 9 resilience suite adds the *execution-side* chaos injectors:
+
+* :func:`kill_worker` — SIGKILL a live pool worker (a crashed process);
+* :func:`arm_chaos` — make a worker die (``os._exit``) or hang (sleep)
+  on its *next* real command, through the executor's own pipe protocol,
+  so the fault lands mid-batch exactly where supervision must catch it;
+* :class:`FlakyReads` — a ``DataFile.fault_injector`` raising
+  ``OSError`` for a bounded number of physical reads (a flaky disk).
 """
 
 from __future__ import annotations
 
 import os
+import signal
 from typing import BinaryIO
 
-__all__ = ["ByteBudget", "CrashPoint", "CrashingFile", "crashing_factory"]
+__all__ = [
+    "ByteBudget",
+    "CrashPoint",
+    "CrashingFile",
+    "FlakyReads",
+    "arm_chaos",
+    "crashing_factory",
+    "kill_worker",
+]
 
 
 class CrashPoint(Exception):
@@ -101,3 +119,67 @@ def crashing_factory(budget: ByteBudget):
         return CrashingFile(open(path, "ab"), budget)
 
     return factory
+
+
+# ----------------------------------------------------------------------
+# execution-side chaos (process pool + storage reads)
+# ----------------------------------------------------------------------
+
+def kill_worker(executor, worker_id: int = 0, sig: int = signal.SIGKILL) -> None:
+    """SIGKILL one live worker of a :class:`ProcessBatchExecutor`.
+
+    Forces the pool up first so there is a process to kill, then waits
+    for the OS to reap it — the next exchange must find a dead pipe, not
+    a half-dead process that might still answer.
+    """
+    executor._ensure_pool()
+    proc = executor._procs[worker_id]
+    os.kill(proc.pid, sig)
+    proc.join(timeout=10.0)
+    if proc.is_alive():  # pragma: no cover - kill cannot be ignored
+        raise RuntimeError(f"worker {worker_id} survived signal {sig}")
+
+
+def arm_chaos(executor, worker_id: int, mode: str, seconds: float = 0.0) -> None:
+    """Arm one worker to misbehave on its *next* real command.
+
+    ``mode="exit"`` makes it die via ``os._exit`` (no cleanup, exactly a
+    crash); ``mode="hang"`` makes it sleep ``seconds`` before answering,
+    which trips the supervisor's deadline when ``seconds`` exceeds the
+    executor's ``worker_timeout``.  Delivered through the worker's own
+    command pipe so the fault fires inside command dispatch — the spot
+    worker supervision must survive.
+    """
+    if mode not in ("exit", "hang"):
+        raise ValueError(f"unknown chaos mode {mode!r}")
+    executor._ensure_pool()
+    conn = executor._conns[worker_id]
+    conn.send(("chaos", (mode, float(seconds))))
+    status, payload = conn.recv()
+    if status != "ok":  # pragma: no cover - arming is infallible
+        raise RuntimeError(f"chaos arming failed: {status} {payload}")
+
+
+class FlakyReads:
+    """A ``DataFile.fault_injector`` modelling a transiently flaky disk.
+
+    Raises ``OSError`` for the first ``failures`` physical page reads it
+    sees (optionally only for ``page_id``), then passes everything —
+    within the pager's ``io_retry_limit`` the retry loop absorbs the
+    fault, beyond it ``TransientIOError`` escapes.
+    """
+
+    def __init__(self, failures: int, page_id: int | None = None):
+        self.remaining = failures
+        self.page_id = page_id
+        self.calls = 0
+        self.raised = 0
+
+    def __call__(self, page_id: int) -> None:
+        self.calls += 1
+        if self.page_id is not None and page_id != self.page_id:
+            return
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.raised += 1
+            raise OSError(f"injected flaky read on page {page_id}")
