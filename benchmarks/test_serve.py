@@ -1,0 +1,189 @@
+"""Load harness for the query service: clients must buy throughput.
+
+A location-service read trace — every request a prob-range query over a
+small pool of hot city rectangles — is replayed against one served
+:class:`~repro.api.Database` at several concurrent client counts, with
+simulated per-page disk latency (the regime admission-control batching
+exists for).  The acceptance contract:
+
+* eight synchronous wire clients sustain **at least twice** the
+  queries/second of one client over the same server.  The win is
+  cross-client batch forming: requests landing in one
+  ``batch_window_ms`` window run as a single engine batch, and the
+  batch executor fetches each hot page once for all of them instead of
+  once per client (plus ``(address, rect)`` P_app memoisation across
+  the batch).  The contract holds on a single-core runner because the
+  page latency is simulated (``time.sleep`` overlaps across waiting
+  clients);
+* answers are not re-checked here — ``tests/test_serve.py`` pins
+  bit-identical served answers; this file measures only cost.
+
+Headline numbers (qps, p50/p99 request latency, queue stats) go to
+``BENCH_serve.json`` (path overridable via ``REPRO_SERVE_ARTIFACT``)
+for the CI serve job.  The throughput assertion is skippable via
+``REPRO_SKIP_PERF_ASSERT`` for congested runners.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ExecConfig, RangeSpec
+from repro.env import env_flag, env_int, env_value
+from repro.geometry.rect import Rect
+from repro.serve import QueryServer, ServeClient
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import UniformDensity
+from repro.uncertainty.regions import BallRegion
+
+N_SAMPLES = env_int("REPRO_BENCH_SAMPLES", 1200)
+SEED = 23
+N_OBJECTS = 120
+N_HOT_RECTS = 10
+TOTAL_REQUESTS = 48  # split across the clients of each run
+CLIENT_COUNTS = (1, 2, 8)
+PAGE_SIZE = 512  # many small pages -> page dedup has something to win
+IO_LATENCY_SECONDS = 0.002
+BATCH_WINDOW_MS = 12.0
+ARTIFACT = env_value("REPRO_SERVE_ARTIFACT", "BENCH_serve.json")
+SKIP_PERF = env_flag("REPRO_SKIP_PERF_ASSERT")
+
+
+def _objects() -> list[UncertainObject]:
+    rng = np.random.default_rng(47)
+    centres = rng.uniform(500, 9500, (N_OBJECTS, 2))
+    return [
+        UncertainObject(
+            i, UniformDensity(BallRegion(centres[i], 250.0), marginal_seed=i)
+        )
+        for i in range(N_OBJECTS)
+    ]
+
+
+def _hot_rects() -> list[Rect]:
+    """The city's busy districts: every client queries from this pool."""
+    rng = np.random.default_rng(53)
+    return [
+        Rect.from_center(rng.uniform(2000, 8000, 2), float(rng.uniform(900, 1800)))
+        for _ in range(N_HOT_RECTS)
+    ]
+
+
+def _trace(n_requests: int) -> list[RangeSpec]:
+    """One deterministic request stream over the hot-rectangle pool."""
+    rng = np.random.default_rng(59)
+    rects = _hot_rects()
+    thresholds = (0.3, 0.5, 0.8)
+    return [
+        RangeSpec(rects[int(rng.integers(len(rects)))],
+                  thresholds[int(rng.integers(len(thresholds)))])
+        for _ in range(n_requests)
+    ]
+
+
+def _build() -> Database:
+    config = ExecConfig(
+        mc_samples=N_SAMPLES,
+        seed=SEED,
+        page_size=PAGE_SIZE,
+        io_latency_seconds=IO_LATENCY_SECONDS,
+        batch_window_ms=BATCH_WINDOW_MS,
+        max_inflight=64,
+    )
+    return Database.create(_objects(), config, methods=("utree",))
+
+
+def _replay(address, trace: list[RangeSpec], n_clients: int) -> dict:
+    """Replay ``trace`` split across ``n_clients`` synchronous clients."""
+    slices = [trace[i::n_clients] for i in range(n_clients)]
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_loop(i: int) -> None:
+        with ServeClient(*address) as client:
+            barrier.wait()  # connect first, then start together
+            for spec in slices[i]:
+                t0 = time.perf_counter()
+                client.query(spec)
+                latencies[i].append(time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), name=f"load-client-{i}")
+        for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    return {
+        "clients": n_clients,
+        "requests": len(flat),
+        "wall_seconds": wall,
+        "qps": len(flat) / max(wall, 1e-12),
+        "p50_ms": 1000.0 * flat[len(flat) // 2],
+        "p99_ms": 1000.0 * flat[min(len(flat) - 1, int(len(flat) * 0.99))],
+    }
+
+
+class TestServeLoadAcceptance:
+    def test_concurrent_clients_scale_served_throughput(self):
+        db = _build()
+        trace = _trace(TOTAL_REQUESTS)
+
+        # Warm what all runs share — sample clouds and structure pages —
+        # so the first client count is not charged the one-off costs.
+        db.run(
+            [RangeSpec(rect, 0.5) for rect in _hot_rects()]
+        )
+
+        runs: dict[int, dict] = {}
+        with QueryServer(db) as server:
+            for n_clients in CLIENT_COUNTS:
+                # Each run starts with a cold P_app memo so every client
+                # count pays the same refinement work.
+                db.clear_memos()
+                runs[n_clients] = _replay(server.address, trace, n_clients)
+            queue_stats = server.queue.stats()
+
+        speedup = runs[8]["qps"] / max(runs[1]["qps"], 1e-12)
+        with open(ARTIFACT, "w") as fh:
+            json.dump(
+                {
+                    "n_samples": N_SAMPLES,
+                    "objects": N_OBJECTS,
+                    "hot_rects": N_HOT_RECTS,
+                    "total_requests": TOTAL_REQUESTS,
+                    "page_size": PAGE_SIZE,
+                    "io_latency_seconds": IO_LATENCY_SECONDS,
+                    "batch_window_ms": BATCH_WINDOW_MS,
+                    "runs": {str(n): runs[n] for n in CLIENT_COUNTS},
+                    "speedup_8_over_1": speedup,
+                    "queue": queue_stats,
+                    "perf_assert_armed": not SKIP_PERF,
+                },
+                fh,
+                indent=2,
+            )
+
+        # The batching machinery must actually have engaged at 8 clients.
+        assert queue_stats["cross_client_batches"] >= 1
+        assert queue_stats["largest_batch_requests"] >= 2
+
+        if SKIP_PERF:
+            pytest.skip(
+                f"REPRO_SKIP_PERF_ASSERT set; measured 8/1 speedup {speedup:.2f}x"
+            )
+        assert speedup >= 2.0, (
+            f"8 clients gave {speedup:.2f}x the throughput of 1 "
+            f"(qps: { {n: round(r['qps'], 1) for n, r in runs.items()} })"
+        )

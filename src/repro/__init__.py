@@ -71,6 +71,7 @@ from repro.exec.shard import (
 )
 from repro.geometry.rect import Rect
 from repro.index.rstar import RStarTree
+from repro.serve import BusyError, QueryServer, ServeClient, ServeError, ServedRun
 from repro.storage.bufferpool import BufferPool
 from repro.storage.pager import CompositeIOCounter, DataFile, DiskAddress, IOCounter
 from repro.storage.serialize import load_utree, save_utree
@@ -105,6 +106,7 @@ __all__ = [
     "BatchStats",
     "BoxRegion",
     "BufferPool",
+    "BusyError",
     "CFBRules",
     "CompositeIOCounter",
     "ConstrainedGaussianDensity",
@@ -132,6 +134,7 @@ __all__ = [
     "ProbRangeQuery",
     "QueryAnswer",
     "QueryExecutor",
+    "QueryServer",
     "QuerySpec",
     "QueryStats",
     "RStarTree",
@@ -144,6 +147,9 @@ __all__ = [
     "Rect",
     "SampleCache",
     "SequentialScan",
+    "ServeClient",
+    "ServeError",
+    "ServedRun",
     "ShardRouter",
     "ShardStats",
     "ShardedAccessMethod",

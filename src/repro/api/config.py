@@ -124,6 +124,23 @@ class ExecConfig:
             :data:`~repro.storage.layout.PAGE_CHECKSUM_BYTES` of packing
             capacity per page; off (the default) is byte-compatible with
             the seed.  Environment default via ``REPRO_CHECKSUM``.
+        serve_host: bind address for :class:`repro.serve.QueryServer`
+            (the query-service front-end).  Environment default via
+            ``REPRO_SERVE_HOST``.
+        serve_port: TCP port the server binds; ``0`` (the default) picks
+            an ephemeral port (read the resolved one from
+            ``QueryServer.port``).  Environment default via
+            ``REPRO_SERVE_PORT``.
+        max_inflight: admission-control bound of the query service —
+            requests pending beyond this are shed with a typed ``BUSY``
+            reply instead of growing an unbounded backlog.  Environment
+            default via ``REPRO_MAX_INFLIGHT``.
+        batch_window_ms: how long the server's dispatcher holds the
+            first request of a batch open for companion requests from
+            other clients (cross-client batch forming — shared pages
+            and repeated rectangles are then paid for once per batch).
+            ``0`` still coalesces whatever is already queued.
+            Environment default via ``REPRO_BATCH_WINDOW_MS``.
         page_size: simulated page size in bytes.
         mc_samples: Monte-Carlo samples per P_app evaluation.
         seed: base RNG seed; per-object streams derive from
@@ -155,6 +172,10 @@ class ExecConfig:
     worker_timeout: float = 0.0
     max_retries: int = 2
     checksum: bool = False
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 0
+    max_inflight: int = 64
+    batch_window_ms: float = 2.0
     page_size: int = 4096
     mc_samples: int = 10_000
     seed: int = 0
@@ -211,6 +232,14 @@ class ExecConfig:
             raise ValueError("worker_timeout must be non-negative")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if not self.serve_host:
+            raise ValueError("serve_host must be a non-empty bind address")
+        if not 0 <= self.serve_port <= 65535:
+            raise ValueError("serve_port must be in [0, 65535] (0 = ephemeral)")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
         if self.page_size < 256:
             raise ValueError("page_size must be at least 256 bytes")
         if self.mc_samples < 1:
@@ -267,6 +296,18 @@ class ExecConfig:
             fields["max_retries"] = int(retries)
         if repro_env.env_flag("REPRO_CHECKSUM"):
             fields["checksum"] = True
+        host = repro_env.env_value("REPRO_SERVE_HOST")
+        if host is not None and host.strip():
+            fields["serve_host"] = host.strip()
+        port = repro_env.env_value("REPRO_SERVE_PORT")
+        if port is not None and port.strip():
+            fields["serve_port"] = int(port)
+        inflight = repro_env.env_value("REPRO_MAX_INFLIGHT")
+        if inflight is not None and inflight.strip():
+            fields["max_inflight"] = int(inflight)
+        window = repro_env.env_value("REPRO_BATCH_WINDOW_MS")
+        if window is not None and window.strip():
+            fields["batch_window_ms"] = float(window)
         fields["full_scale"] = repro_env.env_flag("REPRO_FULL_SCALE")
         fields.update(overrides)
         return cls(**fields)

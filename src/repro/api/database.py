@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -49,6 +50,7 @@ from repro.exec.planner import (
     ScanCostModel,
     derive_data_records_per_page,
 )
+from repro.exec.refine import RefinementEngine
 from repro.exec.resilience import BatchSupervisor
 from repro.exec.shard import ShardedAccessMethod
 from repro.exec.tuner import AutoTuner, TunerDecision
@@ -408,6 +410,10 @@ class Database:
         # among cached executors instead of rebuilding them per batch,
         # and the kernel state in the key keeps forked process pools
         # from serving a batch under a kernel setting they never saw.
+        # The lock makes the cache (and close()) safe against a run()
+        # in flight on another thread — the query service's shutdown
+        # path closes the database while batches may still be draining.
+        self._exec_lock = threading.RLock()
         self._batch_executors: dict[tuple, BatchExecutor] = {}
         self._query_executors: dict[str, QueryExecutor] = {}
         self.tuner: AutoTuner | None = (
@@ -925,32 +931,33 @@ class Database:
             self.config.parallelism if parallelism is None else parallelism
         )
         key = (name, executor, parallelism, _kernel_enabled(self._methods[name]))
-        if key not in self._batch_executors:
-            if executor == "process":
-                # The fault-domain retry budget engages only in degrade
-                # mode; in fail mode faults propagate on first contact
-                # (after pool teardown, so the executor stays usable).
-                # The command deadline applies in both modes — detecting
-                # a hang is orthogonal to what happens next.
-                supervised = self.config.on_fault == "degrade"
-                self._batch_executors[key] = ProcessBatchExecutor(
-                    self._methods[name],
-                    workers=parallelism,
-                    memoize=self.config.memoize,
-                    dedupe_pages=self.config.dedupe_pages,
-                    io_latency_seconds=self.config.io_latency_seconds,
-                    worker_timeout=self.config.worker_timeout,
-                    max_retries=self.config.max_retries if supervised else 0,
-                )
-            else:
-                self._batch_executors[key] = BatchExecutor(
-                    self._methods[name],
-                    memoize=self.config.memoize,
-                    dedupe_pages=self.config.dedupe_pages,
-                    parallelism=parallelism,
-                    io_latency_seconds=self.config.io_latency_seconds,
-                )
-        return self._batch_executors[key]
+        with self._exec_lock:
+            if key not in self._batch_executors:
+                if executor == "process":
+                    # The fault-domain retry budget engages only in degrade
+                    # mode; in fail mode faults propagate on first contact
+                    # (after pool teardown, so the executor stays usable).
+                    # The command deadline applies in both modes — detecting
+                    # a hang is orthogonal to what happens next.
+                    supervised = self.config.on_fault == "degrade"
+                    self._batch_executors[key] = ProcessBatchExecutor(
+                        self._methods[name],
+                        workers=parallelism,
+                        memoize=self.config.memoize,
+                        dedupe_pages=self.config.dedupe_pages,
+                        io_latency_seconds=self.config.io_latency_seconds,
+                        worker_timeout=self.config.worker_timeout,
+                        max_retries=self.config.max_retries if supervised else 0,
+                    )
+                else:
+                    self._batch_executors[key] = BatchExecutor(
+                        self._methods[name],
+                        memoize=self.config.memoize,
+                        dedupe_pages=self.config.dedupe_pages,
+                        parallelism=parallelism,
+                        io_latency_seconds=self.config.io_latency_seconds,
+                    )
+            return self._batch_executors[key]
 
     def _degradation_ladder(
         self,
@@ -1015,26 +1022,38 @@ class Database:
 
     def _drop_executors(self, name: str) -> None:
         """Forget every executor bound to ``name``'s current structure."""
-        for key in [k for k in self._batch_executors if k[0] == name]:
-            executor = self._batch_executors.pop(key)
+        with self._exec_lock:
+            dropped = [
+                self._batch_executors.pop(key)
+                for key in [k for k in self._batch_executors if k[0] == name]
+            ]
+            self._query_executors.pop(name, None)
+        for executor in dropped:
             closer = getattr(executor, "close", None)
             if closer is not None:
                 closer()
-        self._query_executors.pop(name, None)
 
     def close(self) -> None:
         """Release executor resources (the process backend's worker pool).
 
-        Idempotent, and the database stays usable — the next batch under
-        ``executor="process"`` simply re-forks its pool.  The thread
-        backend holds no persistent workers, so this is a no-op there.
+        Idempotent and thread-safe: concurrent calls — or a call racing a
+        ``run()`` in flight on another thread (the query service's
+        shutdown path) — never raise, and the database stays usable: the
+        next batch under ``executor="process"`` simply re-forks its pool.
+        An executor a concurrent ``run()`` builds *after* the snapshot
+        below is released by the next ``close()`` (or the process pool's
+        finalizer backstop).  The thread backend holds no persistent
+        workers, so this is a no-op there.
         """
-        for executor in self._batch_executors.values():
+        with self._exec_lock:
+            executors = list(self._batch_executors.values())
+        for executor in executors:
             closer = getattr(executor, "close", None)
             if closer is not None:
                 closer()
-        if self.wal is not None:
-            self.wal.close()
+        wal = self.wal
+        if wal is not None:
+            wal.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -1043,9 +1062,10 @@ class Database:
         self.close()
 
     def _query_executor(self, name: str) -> QueryExecutor:
-        if name not in self._query_executors:
-            self._query_executors[name] = QueryExecutor(self._methods[name])
-        return self._query_executors[name]
+        with self._exec_lock:
+            if name not in self._query_executors:
+                self._query_executors[name] = QueryExecutor(self._methods[name])
+            return self._query_executors[name]
 
     def clear_memos(self) -> None:
         """Drop every batched executor's cross-query P_app memo.
@@ -1055,7 +1075,9 @@ class Database:
         counters* — repeated experiment sweeps — reset here.  Answers are
         never affected either way.
         """
-        for executor in self._batch_executors.values():
+        with self._exec_lock:
+            executors = list(self._batch_executors.values())
+        for executor in executors:
             executor.clear_memo()
 
     def _run_nearest(self, spec: NearestSpec, name: str) -> Result:
@@ -1256,6 +1278,47 @@ class Database:
         if not isinstance(spec, NearestSpec):
             raise TypeError(f"nearest() takes a NearestSpec, got {type(spec).__name__}")
         return self._run_nearest(spec, self._pick_nn_method(None))
+
+    def probabilities(
+        self,
+        rect,
+        oids: Iterable[int],
+        *,
+        method: str | None = None,
+    ) -> dict[int, float]:
+        """``P_app`` of each oid against ``rect`` (oid -> probability).
+
+        Served from the method's shared
+        :class:`~repro.exec.refine.RefinementEngine`, so the values are
+        bit-identical to what query refinement computes for the same
+        pairs (the Monte-Carlo stream derives from ``(seed, oid)``).
+        This is the surface the query service's ``probs=True`` replies
+        use — and what the wire-equivalence tests compare with ``==``.
+
+        ``rect`` is a :class:`~repro.geometry.rect.Rect` or a
+        :class:`~repro.api.specs.RangeSpec` (its rectangle is taken).
+        Unknown oids raise ``KeyError``.
+        """
+        if isinstance(rect, RangeSpec):
+            rect = rect.rect
+        name = method if method is not None else next(iter(self._methods))
+        if name not in self._methods:
+            raise KeyError(
+                f"method {name!r} is not registered (have {self.method_names})"
+            )
+        chosen = self._methods[name]
+        engine = RefinementEngine.for_method(chosen)
+        data_file = chosen.data_file
+        wanted = {int(oid) for oid in oids}
+        out: dict[int, float] = {}
+        for record in _live_records(chosen):
+            if record.oid in wanted and record.oid not in out:
+                obj = data_file.peek(record.address)
+                out[record.oid] = engine.estimate(obj, rect)
+        missing = sorted(wanted - out.keys())
+        if missing:
+            raise KeyError(f"oids not present in method {name!r}: {missing}")
+        return out
 
     # ------------------------------------------------------------------
     # explain

@@ -47,6 +47,10 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_WORKER_TIMEOUT": "process-worker command deadline seconds (ExecConfig.worker_timeout)",
     "REPRO_MAX_RETRIES": "fault-domain retry budget (ExecConfig.max_retries)",
     "REPRO_CHECKSUM": "crc32 page checksums on/off (ExecConfig.checksum)",
+    "REPRO_SERVE_HOST": "query-service bind address (ExecConfig.serve_host)",
+    "REPRO_SERVE_PORT": "query-service TCP port, 0 = ephemeral (ExecConfig.serve_port)",
+    "REPRO_MAX_INFLIGHT": "query-service admission bound (ExecConfig.max_inflight)",
+    "REPRO_BATCH_WINDOW_MS": "cross-client batch-forming window ms (ExecConfig.batch_window_ms)",
     "REPRO_FAULT_EXHAUSTIVE": "exhaustive end-to-end crash sweep in the fault suite",
     "REPRO_SKIP_PERF_ASSERT": "skip wall-clock perf contracts (CI correctness matrix)",
     "REPRO_BENCH_SAMPLES": "Monte-Carlo budget for benchmark smoke runs",
@@ -57,6 +61,7 @@ KNOWN_ENV_KEYS: dict[str, str] = {
     "REPRO_AUTOTUNE_ARTIFACT": "autotune benchmark artifact path",
     "REPRO_STORAGE_ARTIFACT": "storage-engine benchmark artifact path",
     "REPRO_RESILIENCE_ARTIFACT": "resilience benchmark artifact path",
+    "REPRO_SERVE_ARTIFACT": "query-service load-harness artifact path",
 }
 
 _TRUE_WORDS = ("1", "true", "yes", "on")
